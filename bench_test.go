@@ -1,0 +1,306 @@
+// Package hafw's root benchmark suite regenerates every experiment of the
+// reproduction (E1–E12, one benchmark each — see DESIGN.md §5 and
+// EXPERIMENTS.md) and measures the substrate's micro-performance. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks execute the same runners as cmd/haexp in quick
+// mode and report headline numbers through b.ReportMetric; the absolute
+// wall-clock of one iteration is the cost of the full scenario (cluster
+// formation, fault injection, measurement), not a protocol figure.
+package hafw
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"hafw/internal/exp"
+	"hafw/internal/gcs"
+	"hafw/internal/ids"
+	"hafw/internal/riskmodel"
+	"hafw/internal/transport/memnet"
+	"hafw/internal/unitdb"
+	"hafw/internal/wire"
+)
+
+// runExp executes one experiment runner b.N times, failing the benchmark
+// if the experiment errors.
+func runExp(b *testing.B, id string) exp.Table {
+	b.Helper()
+	r, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := r.Run(true)
+		if err != nil {
+			b.Fatalf("%s: %v\n%s", id, err, t)
+		}
+		last = t
+	}
+	return last
+}
+
+// cell parses a numeric table cell.
+func cell(b *testing.B, t exp.Table, row, col int) float64 {
+	b.Helper()
+	if row >= len(t.Rows) || col >= len(t.Rows[row]) {
+		b.Fatalf("table %s has no cell (%d,%d)", t.ID, row, col)
+	}
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q: %v", row, col, t.Rows[row][col], err)
+	}
+	return v
+}
+
+func BenchmarkE1SinglePrimary(b *testing.B) {
+	t := runExp(b, "E1")
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 3), "violations")
+}
+
+func BenchmarkE2ReplicationSweep(b *testing.B) {
+	t := runExp(b, "E2")
+	b.ReportMetric(cell(b, t, 0, 2), "fracdown_R1")
+	b.ReportMetric(cell(b, t, 2, 2), "fracdown_R3")
+}
+
+func BenchmarkE3LostUpdate(b *testing.B) {
+	t := runExp(b, "E3")
+	b.ReportMetric(cell(b, t, 0, 3), "plost_B0")
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 3), "plost_B3")
+}
+
+func BenchmarkE4DuplicateWindow(b *testing.B) {
+	t := runExp(b, "E4")
+	b.ReportMetric(cell(b, t, 0, 2), "meandups_T0.1")
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 2), "meandups_T1.0")
+}
+
+func BenchmarkE5Takeover(b *testing.B) {
+	t := runExp(b, "E5")
+	gap, err := time.ParseDuration(t.Rows[1][1])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(gap.Milliseconds()), "crashgap_ms")
+}
+
+func BenchmarkE6LoadSweep(b *testing.B) {
+	t := runExp(b, "E6")
+	b.ReportMetric(cell(b, t, 0, 2), "propmsgs_T0.1_B0")
+}
+
+func BenchmarkE7DualPrimary(b *testing.B) {
+	t := runExp(b, "E7")
+	b.ReportMetric(cell(b, t, 0, 2), "dualwin_transitive")
+	b.ReportMetric(cell(b, t, 1, 2), "dualwin_nontransitive")
+}
+
+func BenchmarkE8Migration(b *testing.B) {
+	t := runExp(b, "E8")
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 3), "updates_lost")
+}
+
+func BenchmarkE9MPEGPolicy(b *testing.B) {
+	t := runExp(b, "E9")
+	b.ReportMetric(cell(b, t, 2, 3), "mpeg_missing_I")
+}
+
+func BenchmarkE10RSM(b *testing.B) {
+	t := runExp(b, "E10")
+	if t.Rows[len(t.Rows)-1][3] != "true" {
+		b.Fatalf("replicas inconsistent:\n%s", t)
+	}
+}
+
+func BenchmarkE11VoDInstance(b *testing.B) {
+	t := runExp(b, "E11")
+	b.ReportMetric(cell(b, t, 0, 1), "dup_frames")
+}
+
+func BenchmarkE12AutoConfig(b *testing.B) {
+	t := runExp(b, "E12")
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 1), "chosen_B_tightest")
+}
+
+// --- substrate micro-benchmarks ---
+
+type benchMsg struct {
+	N    int
+	Data []byte
+}
+
+func (benchMsg) WireName() string { return "bench.msg" }
+
+func init() { wire.Register(benchMsg{}) }
+
+// BenchmarkWireEncode measures the codec on a typical payload.
+func BenchmarkWireEncode(b *testing.B) {
+	env := wire.Envelope{
+		From:    ids.ProcessEndpoint(1),
+		To:      ids.ProcessEndpoint(2),
+		Payload: benchMsg{N: 7, Data: make([]byte, 256)},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Encode(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireRoundTrip measures encode+decode.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	env := wire.Envelope{
+		From:    ids.ProcessEndpoint(1),
+		To:      ids.ProcessEndpoint(2),
+		Payload: benchMsg{N: 7, Data: make([]byte, 256)},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := wire.Encode(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnitDBAllocate measures the deterministic allocation function
+// on a database with 1000 sessions.
+func BenchmarkUnitDBAllocate(b *testing.B) {
+	db := unitdb.New("u")
+	members := []ids.ProcessID{1, 2, 3, 4, 5}
+	for i := 0; i < 1000; i++ {
+		s := db.CreateSession(ids.ClientID(i))
+		db.Allocate(s.ID, members, 2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := db.CreateSession(ids.ClientID(i))
+		db.Allocate(s.ID, members, 2)
+		db.Remove(s.ID)
+	}
+}
+
+// BenchmarkUnitDBReallocate measures a full crash-only reallocation of
+// 1000 sessions.
+func BenchmarkUnitDBReallocate(b *testing.B) {
+	db := unitdb.New("u")
+	members := []ids.ProcessID{1, 2, 3, 4, 5}
+	for i := 0; i < 1000; i++ {
+		s := db.CreateSession(ids.ClientID(i))
+		db.Allocate(s.ID, members, 1)
+	}
+	survivors := []ids.ProcessID{2, 3, 4, 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Reallocate(survivors, 1)
+	}
+}
+
+// BenchmarkRiskMonteCarlo measures lost-update trials per second.
+func BenchmarkRiskMonteCarlo(b *testing.B) {
+	p := riskmodel.Params{MTTF: 120, T: 0.5, B: 1}
+	b.ResetTimer()
+	riskmodel.SimulateLostUpdates(p, 42, b.N)
+}
+
+// BenchmarkGCSMulticast measures end-to-end ordered multicast delivery
+// through a live 3-process GCS on the in-memory network: one op is one
+// message multicast by the coordinator and delivered at every member.
+func BenchmarkGCSMulticast(b *testing.B) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	pids := []ids.ProcessID{1, 2, 3}
+
+	var mu sync.Mutex
+	delivered := make(map[ids.ProcessID]int)
+	var procs []*gcs.Process
+	for _, pid := range pids {
+		pid := pid
+		ep, err := net.Attach(ids.ProcessEndpoint(pid))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := gcs.NewProcess(gcs.Config{
+			Self: pid, Transport: ep, World: pids,
+			OnEvent: func(e gcs.Event) {
+				if _, ok := e.(gcs.MessageEvent); ok {
+					mu.Lock()
+					delivered[pid]++
+					mu.Unlock()
+				}
+			},
+			// Patient failure detection: the benchmark injects no faults,
+			// and a tight send loop on a small machine can starve
+			// aggressive heartbeats into false suspicions — which would
+			// change views mid-measurement and (correctly, per GCS
+			// semantics) exempt the excluded member from that view's
+			// messages.
+			FDInterval: 50 * time.Millisecond, FDTimeout: 3 * time.Second,
+			RoundTimeout: 250 * time.Millisecond, AckInterval: 15 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Start()
+		defer p.Stop()
+		procs = append(procs, p)
+	}
+	const g ids.GroupName = "bench"
+	for _, p := range procs {
+		if err := p.Join(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Wait for formation.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(procs[0].GroupMembers(g)) != 3 {
+		if time.Now().After(deadline) {
+			b.Fatal("group never formed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	payload := benchMsg{Data: make([]byte, 128)}
+	// Flow control: cap the outstanding window so large b.N measures
+	// sustainable ordered-multicast throughput instead of overflowing the
+	// delivery queues with one burst.
+	const window = 1024
+	waitDelivered := func(target int) {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			mu.Lock()
+			done := delivered[1] >= target && delivered[2] >= target && delivered[3] >= target
+			mu.Unlock()
+			if done {
+				return
+			}
+			if time.Now().After(deadline) {
+				b.Fatal("deliveries incomplete")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := procs[0].Multicast(g, payload); err != nil {
+			b.Fatal(err)
+		}
+		if i%window == window-1 {
+			waitDelivered(i + 1 - window/2)
+		}
+	}
+	// Wait for full delivery everywhere.
+	waitDelivered(b.N)
+	b.StopTimer()
+}

@@ -1,0 +1,151 @@
+// Command haclient is a framework client over real TCP: it discovers the
+// content units a hanode deployment offers, opens a streaming session, and
+// reports playback statistics — including the duplicate/missing frame
+// counts that quantify failovers if you kill nodes while it plays.
+//
+// Example (against the hanode deployment from cmd/hanode's doc):
+//
+//	haclient -id 100 -servers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003 -play 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"hafw/internal/core"
+	"hafw/internal/ids"
+	"hafw/internal/services/vod"
+	"hafw/internal/transport/tcpnet"
+)
+
+func main() {
+	var (
+		id      = flag.Uint64("id", 100, "client ID (unique)")
+		servers = flag.String("servers", "", "comma-separated id=addr server list (required)")
+		listen  = flag.String("listen", "127.0.0.1:0", "TCP listen address for responses")
+		unit    = flag.String("unit", "", "content unit to play (default: first listed)")
+		play    = flag.Duration("play", 15*time.Second, "how long to stream")
+		seekTo  = flag.Uint64("seek", 0, "seek to this frame after 2s (0 = no seek)")
+	)
+	flag.Parse()
+	if *servers == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	peerAddrs, world, err := parseServers(*servers)
+	if err != nil {
+		log.Fatalf("bad -servers: %v", err)
+	}
+
+	tr, err := tcpnet.New(tcpnet.Config{
+		Self:       ids.ClientEndpoint(ids.ClientID(*id)),
+		ListenAddr: *listen,
+		Peers:      peerAddrs,
+	})
+	if err != nil {
+		log.Fatalf("transport: %v", err)
+	}
+	client, err := core.NewClient(core.ClientConfig{
+		Self:           ids.ClientID(*id),
+		Transport:      tr,
+		Servers:        world,
+		RequestTimeout: time.Second,
+		Retries:        5,
+	})
+	if err != nil {
+		log.Fatalf("client: %v", err)
+	}
+	defer client.Close()
+
+	units, err := client.ListUnits()
+	if err != nil {
+		log.Fatalf("ListUnits: %v", err)
+	}
+	fmt.Println("available content units:")
+	for _, u := range units {
+		fmt.Printf("  %-24s %d replicas\n", u.Unit, u.Replicas)
+	}
+	target := ids.UnitName(*unit)
+	if target == "" {
+		if len(units) == 0 {
+			log.Fatal("service offers no content units")
+		}
+		target = units[0].Unit
+	}
+
+	// The player needs the movie shape for gap classification; the
+	// deployment serves DefaultMovie-shaped units.
+	player := vod.NewPlayer(vod.DefaultMovie(target))
+	sess, err := client.StartSession(target, player.Handler)
+	if err != nil {
+		log.Fatalf("StartSession(%s): %v", target, err)
+	}
+	log.Printf("session %v open on %q (group %s); playing for %v", sess.ID, target, sess.Group, *play)
+
+	if *seekTo > 0 {
+		go func() {
+			time.Sleep(2 * time.Second)
+			if err := sess.Send(vod.Seek{Frame: *seekTo}); err != nil {
+				log.Printf("seek: %v", err)
+			} else {
+				log.Printf("seeked to frame %d", *seekTo)
+			}
+		}()
+	}
+
+	ticker := time.NewTicker(2 * time.Second)
+	defer ticker.Stop()
+	deadline := time.After(*play)
+loop:
+	for {
+		select {
+		case <-ticker.C:
+			st := player.Stats()
+			log.Printf("frames=%d unique=%d dup=%d missing=%d pos=%d",
+				st.Received, st.Unique, st.Duplicates, st.MissingTotal, st.MaxIndex)
+		case <-deadline:
+			break loop
+		}
+	}
+
+	if err := sess.End(); err != nil {
+		log.Printf("EndSession: %v", err)
+	}
+	st := player.Stats()
+	fmt.Printf("\nplayback report for %q:\n", target)
+	fmt.Printf("  frames received   %d\n", st.Received)
+	fmt.Printf("  unique frames     %d\n", st.Unique)
+	fmt.Printf("  duplicates        %d (I=%d P=%d B=%d)\n", st.Duplicates, st.DuplicateI, st.DuplicateP, st.DuplicateB)
+	fmt.Printf("  missing frames    %d (I=%d)\n", st.MissingTotal, st.MissingI)
+}
+
+// parseServers parses "1=host:port,..." into an address book and ID list.
+func parseServers(s string) (map[ids.EndpointID]string, []ids.ProcessID, error) {
+	addrs := make(map[ids.EndpointID]string)
+	var world []ids.ProcessID
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i != len(s) && s[i] != ',' {
+			continue
+		}
+		part := s[start:i]
+		start = i + 1
+		if part == "" {
+			continue
+		}
+		var pid uint64
+		var addr string
+		if _, err := fmt.Sscanf(part, "%d=%s", &pid, &addr); err != nil || pid == 0 {
+			return nil, nil, fmt.Errorf("entry %q (want id=host:port)", part)
+		}
+		addrs[ids.ProcessEndpoint(ids.ProcessID(pid))] = addr
+		world = append(world, ids.ProcessID(pid))
+	}
+	if len(world) == 0 {
+		return nil, nil, fmt.Errorf("no servers parsed")
+	}
+	return addrs, world, nil
+}

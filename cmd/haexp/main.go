@@ -1,0 +1,65 @@
+// Command haexp regenerates the experiment tables of EXPERIMENTS.md: the
+// quantitative reproduction of the paper's Section 4 fault-tolerance
+// analysis (experiments E1–E12, defined in DESIGN.md).
+//
+// Usage:
+//
+//	haexp -list             # show the experiment index
+//	haexp -exp E3           # run one experiment
+//	haexp -exp all          # run the full suite
+//	haexp -exp all -quick   # smaller trial counts (CI scale)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hafw/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "all", "experiment ID (E1..E12) or \"all\"")
+		quick = flag.Bool("quick", false, "use reduced trial counts")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range exp.Experiments() {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+
+	var runners []exp.Runner
+	if *which == "all" {
+		runners = exp.Experiments()
+	} else {
+		r, err := exp.ByID(*which)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runners = []exp.Runner{r}
+	}
+
+	failed := 0
+	for _, r := range runners {
+		start := time.Now()
+		table, err := r.Run(*quick)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if err != nil {
+			failed++
+			fmt.Printf("%s FAILED after %v: %v\n\n", r.ID, elapsed, err)
+			continue
+		}
+		fmt.Printf("%s(ran in %v)\n\n", table, elapsed)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

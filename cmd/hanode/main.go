@@ -1,0 +1,143 @@
+// Command hanode runs one framework server over real TCP: a replica of a
+// video-on-demand content unit, participating in the service group, its
+// movie's content group, and the session groups of the clients it serves.
+//
+// A three-server deployment on one machine:
+//
+//	hanode -id 1 -listen 127.0.0.1:7001 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003 &
+//	hanode -id 2 -listen 127.0.0.1:7002 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003 &
+//	hanode -id 3 -listen 127.0.0.1:7003 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003 &
+//
+// then attach a client with cmd/haclient. Killing a node mid-stream
+// demonstrates the takeover; the client keeps playing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hafw/internal/core"
+	"hafw/internal/ids"
+	"hafw/internal/metrics"
+	"hafw/internal/services/vod"
+	"hafw/internal/transport/tcpnet"
+)
+
+func main() {
+	var (
+		id      = flag.Uint64("id", 0, "process ID (required, unique, > 0)")
+		listen  = flag.String("listen", "", "TCP listen address (required)")
+		peers   = flag.String("peers", "", "comma-separated id=addr peer list, including self")
+		unit    = flag.String("unit", "big-buck-bunny", "movie (content unit) to serve")
+		backups = flag.Int("backups", 1, "backup servers per session (the paper's B)")
+		prop    = flag.Duration("propagation", 500*time.Millisecond, "context propagation period (the paper's T)")
+		fps     = flag.Float64("fps", 24, "movie frame rate")
+		stats   = flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+	)
+	flag.Parse()
+	if *id == 0 || *listen == "" || *peers == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	peerAddrs, world, err := parsePeers(*peers)
+	if err != nil {
+		log.Fatalf("bad -peers: %v", err)
+	}
+
+	tr, err := tcpnet.New(tcpnet.Config{
+		Self:       ids.ProcessEndpoint(ids.ProcessID(*id)),
+		ListenAddr: *listen,
+		Peers:      peerAddrs,
+	})
+	if err != nil {
+		log.Fatalf("transport: %v", err)
+	}
+
+	movie := vod.DefaultMovie(ids.UnitName(*unit))
+	movie.FPS = *fps
+	reg := metrics.NewRegistry()
+	srv, err := core.NewServer(core.Config{
+		Self:      ids.ProcessID(*id),
+		Transport: tr,
+		World:     world,
+		Units: []core.UnitConfig{{
+			Unit:              movie.Name,
+			Service:           vod.New(movie, vod.MPEGPolicy),
+			Backups:           *backups,
+			PropagationPeriod: *prop,
+			IdleTimeout:       time.Minute,
+		}},
+		Metrics: reg,
+	})
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatalf("start: %v", err)
+	}
+	log.Printf("hanode p%d serving %q (B=%d, T=%v) on %s", *id, *unit, *backups, *prop, tr.Addr())
+
+	if *stats > 0 {
+		go func() {
+			ticker := time.NewTicker(*stats)
+			defer ticker.Stop()
+			var last metrics.Snapshot
+			for range ticker.C {
+				cur := reg.Counters()
+				log.Printf("stats: %s", cur.Diff(last))
+				last = cur
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	srv.Stop()
+}
+
+// parsePeers parses "1=host:port,2=host:port" into an address book and a
+// world list.
+func parsePeers(s string) (map[ids.EndpointID]string, []ids.ProcessID, error) {
+	addrs := make(map[ids.EndpointID]string)
+	var world []ids.ProcessID
+	for _, part := range splitNonEmpty(s, ',') {
+		var pid uint64
+		var addr string
+		if _, err := fmt.Sscanf(part, "%d=%s", &pid, &addr); err != nil || pid == 0 {
+			return nil, nil, fmt.Errorf("entry %q (want id=host:port)", part)
+		}
+		addrs[ids.ProcessEndpoint(ids.ProcessID(pid))] = addr
+		world = append(world, ids.ProcessID(pid))
+	}
+	if len(world) == 0 {
+		return nil, nil, fmt.Errorf("no peers parsed")
+	}
+	return addrs, world, nil
+}
+
+func splitNonEmpty(s string, sep rune) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == sep {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+// Distance-education example: a student works through an adaptive lesson
+// (the paper's second motivating service). The session context — syllabus
+// position, quiz grades, pending remedial material — survives a server
+// crash in the middle of the lesson; the student just keeps studying.
+//
+// Run with: go run ./examples/education
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hafw/internal/core"
+	"hafw/internal/ids"
+	"hafw/internal/services/edu"
+	"hafw/internal/transport/memnet"
+	"hafw/internal/wire"
+)
+
+func main() {
+	topic := edu.GenerateTopic("distributed-systems-101", 15)
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	world := []ids.ProcessID{1, 2, 3}
+
+	var servers []*core.Server
+	for _, pid := range world {
+		ep, err := net.Attach(ids.ProcessEndpoint(pid))
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := core.NewServer(core.Config{
+			Self:      pid,
+			Transport: ep,
+			World:     world,
+			Units: []core.UnitConfig{{
+				Unit:              topic.Name,
+				Service:           edu.New(topic),
+				Backups:           1,
+				PropagationPeriod: 100 * time.Millisecond,
+			}},
+			FDInterval: 10 * time.Millisecond, FDTimeout: 60 * time.Millisecond,
+			RoundTimeout: 100 * time.Millisecond, AckInterval: 15 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Stop()
+		servers = append(servers, srv)
+	}
+	fmt.Printf("▸ topic %q served by 3 replicas (%d learning objects)\n", topic.Name, topic.Len())
+
+	cep, err := net.Attach(ids.ClientEndpoint(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := core.NewClient(core.ClientConfig{Self: 42, Transport: cep, Servers: world})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := client.WaitUnit(topic.Name, len(world), 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	responses := make(chan wire.Message, 32)
+	sess, err := client.StartSession(topic.Name, func(seq uint64, body wire.Message) {
+		responses <- body
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("▸ student session %v open\n", sess.ID)
+
+	next := func() wire.Message {
+		if err := sess.Send(edu.Next{}); err != nil {
+			log.Fatal(err)
+		}
+		select {
+		case m := <-responses:
+			return m
+		case <-time.After(5 * time.Second):
+			log.Fatal("no response to Next")
+			return nil
+		}
+	}
+
+	// Study until the first quiz.
+	var quiz edu.Object
+	for {
+		m := next()
+		c, ok := m.(edu.Content)
+		if !ok {
+			log.Fatalf("unexpected response %T", m)
+		}
+		fmt.Printf("▸ studying: [%s] %s\n", c.Object.Kind, c.Object.Title)
+		if c.Object.Kind == edu.KindQuiz {
+			quiz = c.Object
+			break
+		}
+	}
+
+	// Answer it wrong on purpose: the adaptive path kicks in.
+	correct, _ := topic.Correct(quiz.ID)
+	wrong := (correct + 1) % len(quiz.Options)
+	if err := sess.Send(edu.Answer{Quiz: quiz.ID, Choice: wrong}); err != nil {
+		log.Fatal(err)
+	}
+	res := (<-responses).(edu.QuizResult)
+	fmt.Printf("▸ answered %q: correct=%v, running grade %d%%\n", quiz.Options[wrong], res.Correct, res.Grade)
+
+	// Crash the primary BEFORE asking for the next step: the remedial
+	// decision must survive the failover (the backup saw the failed quiz).
+	victim := servers[0].PrimaryOf(topic.Name, sess.ID)
+	net.Crash(ids.ProcessEndpoint(victim))
+	fmt.Printf("▸ crashed the tutoring server (%v) before the next step...\n", victim)
+	time.Sleep(500 * time.Millisecond)
+
+	m := next()
+	c := m.(edu.Content)
+	fmt.Printf("▸ next object after failover: [%s] %s\n", c.Object.Kind, c.Object.Title)
+	if c.Object.Kind == edu.KindRemedial {
+		fmt.Println("▸ the new server remembered the failed quiz and served the remedial explanation")
+	} else {
+		fmt.Println("▸ unexpected: adaptive context was lost in the failover")
+	}
+
+	// Finish a few more steps to show the lesson continues normally.
+	for i := 0; i < 3; i++ {
+		if c, ok := next().(edu.Content); ok {
+			fmt.Printf("▸ continuing: [%s] %s\n", c.Object.Kind, c.Object.Title)
+		}
+	}
+	if err := sess.End(); err != nil {
+		log.Printf("end: %v", err)
+	}
+	fmt.Println("▸ lesson ended cleanly")
+}

@@ -1,0 +1,130 @@
+// Search example: the paper's third motivating service — successively
+// narrower queries where each query can refine earlier result sets. The
+// session context (the list of result sets) survives a network partition:
+// the client keeps refining on whichever side it can reach, and the
+// service heals transparently afterwards.
+//
+// Run with: go run ./examples/search
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hafw/internal/core"
+	"hafw/internal/ids"
+	"hafw/internal/services/search"
+	"hafw/internal/transport/memnet"
+	"hafw/internal/wire"
+)
+
+func main() {
+	corpus := search.GenerateCorpus("papers", 500)
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	world := []ids.ProcessID{1, 2, 3}
+
+	var servers []*core.Server
+	for _, pid := range world {
+		ep, err := net.Attach(ids.ProcessEndpoint(pid))
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := core.NewServer(core.Config{
+			Self:      pid,
+			Transport: ep,
+			World:     world,
+			Units: []core.UnitConfig{{
+				Unit:              corpus.Name,
+				Service:           search.New(corpus),
+				Backups:           1,
+				PropagationPeriod: 100 * time.Millisecond,
+			}},
+			FDInterval: 10 * time.Millisecond, FDTimeout: 60 * time.Millisecond,
+			RoundTimeout: 100 * time.Millisecond, AckInterval: 15 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Stop()
+		servers = append(servers, srv)
+	}
+	fmt.Printf("▸ corpus %q (%d documents) served by 3 replicas\n", corpus.Name, corpus.Len())
+
+	cep, err := net.Attach(ids.ClientEndpoint(9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := core.NewClient(core.ClientConfig{Self: 9, Transport: cep, Servers: world})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := client.WaitUnit(corpus.Name, len(world), 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	results := make(chan search.ResultSet, 16)
+	sess, err := client.StartSession(corpus.Name, func(seq uint64, body wire.Message) {
+		if rs, ok := body.(search.ResultSet); ok {
+			results <- rs
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ask := func(what string, m wire.Message) search.ResultSet {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if err := sess.Send(m); err != nil {
+				log.Fatal(err)
+			}
+			select {
+			case rs := <-results:
+				fmt.Printf("▸ %s → result set #%d with %d documents\n", what, rs.Index, len(rs.DocIDs))
+				return rs
+			case <-time.After(500 * time.Millisecond):
+				if time.Now().After(deadline) {
+					log.Fatalf("no answer to %s", what)
+				}
+				// Retry: the service may be mid-failover; duplicates are
+				// new queries, which only extends the history.
+			}
+		}
+	}
+
+	ask(`Query{"replication"}`, search.Query{Word: "replication"})
+	ask(`refine #1 to year > 1995`, search.Query{AfterYear: 1995, Base: 1})
+
+	// Partition: the current primary alone on one side, the client with
+	// the rest. The session migrates inside the majority component.
+	victim := servers[0].PrimaryOf(corpus.Name, sess.ID)
+	var rest []ids.EndpointID
+	for _, pid := range world {
+		if pid != victim {
+			rest = append(rest, ids.ProcessEndpoint(pid))
+		}
+	}
+	rest = append(rest, client.Endpoint())
+	net.Partition([]ids.EndpointID{ids.ProcessEndpoint(victim)}, rest)
+	fmt.Printf("▸ partitioned away the primary (%v); refining on the majority side...\n", victim)
+	time.Sleep(500 * time.Millisecond)
+
+	ask(`Query{"group"}`, search.Query{Word: "group"})
+	ask(`intersect #2 with #3`, search.Intersect{A: 2, B: 3})
+
+	net.Heal()
+	fmt.Println("▸ network healed; the isolated server rejoins and the databases merge")
+	time.Sleep(700 * time.Millisecond)
+
+	ask(`refine #4 to "membership"`, search.Query{Word: "membership", Base: 4})
+	if err := sess.End(); err != nil {
+		log.Printf("end: %v", err)
+	}
+	fmt.Println("▸ five result sets accumulated across a partition — the client never re-issued its history")
+}

@@ -1,0 +1,3 @@
+module hafw
+
+go 1.22

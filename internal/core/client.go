@@ -1,0 +1,272 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hafw/internal/gcs"
+	"hafw/internal/ids"
+	"hafw/internal/transport"
+	"hafw/internal/wire"
+)
+
+// ErrTimeout is returned when the service does not answer a client call
+// within the configured deadline (after retries).
+var ErrTimeout = errors.New("core: request timed out")
+
+// ResponseHandler consumes responses for one session. Seq is the primary's
+// response counter; duplicate suppression is service-specific (for
+// example, the VoD client dedups by frame number), because on takeover a
+// new primary may legitimately resend the uncertainty window.
+type ResponseHandler func(seq uint64, body wire.Message)
+
+// ClientConfig parameterizes a framework client.
+type ClientConfig struct {
+	// Self is the client identity.
+	Self ids.ClientID
+	// Transport is the client's network endpoint.
+	Transport transport.Transport
+	// Servers is the a-priori known contact list for the service group.
+	Servers []ids.ProcessID
+	// RequestTimeout bounds one call attempt (ListUnits, StartSession,
+	// EndSession). Zero means 300ms.
+	RequestTimeout time.Duration
+	// Retries is how many times calls are retried after a timeout (each
+	// retry re-resolves group membership, so a crashed responder is
+	// bypassed). Zero means 3.
+	Retries int
+	// OnResponseFrom, if set, observes every response's transport-level
+	// source before it is dispatched to the session handler. The
+	// experiment harness uses it to detect dual-primary windows (two
+	// servers concurrently answering one session — paper Section 4).
+	OnResponseFrom func(from ids.EndpointID, session ids.SessionID, seq uint64, body wire.Message)
+}
+
+// Client is a framework service client. It addresses the service, content
+// and session groups abstractly; server failures, migrations and
+// reconfigurations are invisible to it except as brief response gaps — the
+// transparency the paper's design goals demand.
+type Client struct {
+	cfg ClientConfig
+	g   *gcs.Client
+
+	mu        sync.Mutex
+	unitWait  []chan UnitList
+	startWait map[ids.UnitName][]chan SessionStarted
+	endWait   map[ids.SessionID][]chan struct{}
+	sessions  map[ids.SessionID]*ClientSession
+}
+
+// NewClient creates a framework client over the given transport.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 300 * time.Millisecond
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 3
+	}
+	c := &Client{
+		cfg:       cfg,
+		startWait: make(map[ids.UnitName][]chan SessionStarted),
+		endWait:   make(map[ids.SessionID][]chan struct{}),
+		sessions:  make(map[ids.SessionID]*ClientSession),
+	}
+	g, err := gcs.NewClient(gcs.ClientConfig{
+		Self:      cfg.Self,
+		Transport: cfg.Transport,
+		Servers:   cfg.Servers,
+		OnMessage: c.onMessage,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.g = g
+	return c, nil
+}
+
+// Close shuts the client down.
+func (c *Client) Close() error { return c.g.Close() }
+
+// Self returns the client identity.
+func (c *Client) Self() ids.ClientID { return c.cfg.Self }
+
+// Endpoint returns the client's endpoint identifier.
+func (c *Client) Endpoint() ids.EndpointID { return ids.ClientEndpoint(c.cfg.Self) }
+
+func (c *Client) onMessage(from ids.EndpointID, m wire.Message) {
+	switch msg := m.(type) {
+	case UnitList:
+		c.mu.Lock()
+		ws := c.unitWait
+		c.unitWait = nil
+		c.mu.Unlock()
+		for _, w := range ws {
+			w <- msg
+		}
+	case SessionStarted:
+		c.mu.Lock()
+		ws := c.startWait[msg.Unit]
+		delete(c.startWait, msg.Unit)
+		c.mu.Unlock()
+		for _, w := range ws {
+			w <- msg
+		}
+	case SessionEnded:
+		c.mu.Lock()
+		ws := c.endWait[msg.Session]
+		delete(c.endWait, msg.Session)
+		c.mu.Unlock()
+		for _, w := range ws {
+			close(w)
+		}
+	case Response:
+		if c.cfg.OnResponseFrom != nil {
+			c.cfg.OnResponseFrom(from, msg.Session, msg.Seq, msg.Body)
+		}
+		c.mu.Lock()
+		sess := c.sessions[msg.Session]
+		c.mu.Unlock()
+		if sess != nil {
+			sess.deliver(msg.Seq, msg.Body)
+		}
+	}
+}
+
+// ListUnits asks the service group for the available content units.
+func (c *Client) ListUnits() ([]UnitInfo, error) {
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		ch := make(chan UnitList, 1)
+		c.mu.Lock()
+		c.unitWait = append(c.unitWait, ch)
+		c.mu.Unlock()
+		c.g.Invalidate(ServiceGroup)
+		if err := c.g.SendToGroup(ServiceGroup, ListUnits{}); err != nil {
+			return nil, err
+		}
+		select {
+		case ul := <-ch:
+			return ul.Units, nil
+		case <-time.After(c.cfg.RequestTimeout):
+		}
+	}
+	return nil, fmt.Errorf("%w: ListUnits", ErrTimeout)
+}
+
+// WaitUnit blocks until the named content unit is served by at least
+// `replicas` servers (or the timeout elapses). Sessions started below the
+// intended replication degree are exposed to exactly the total-loss risk
+// the paper's Section 4 analyzes, so deployments wait for formation before
+// opening sessions.
+func (c *Client) WaitUnit(unit ids.UnitName, replicas int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		units, err := c.ListUnits()
+		if err == nil {
+			for _, u := range units {
+				if u.Unit == unit && u.Replicas >= replicas {
+					return nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: unit %s did not reach %d replicas", ErrTimeout, unit, replicas)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// StartSession opens a session on a content unit. The handler receives the
+// session's response stream; it may be nil for request-free probing.
+func (c *Client) StartSession(unit ids.UnitName, h ResponseHandler) (*ClientSession, error) {
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		ch := make(chan SessionStarted, 1)
+		c.mu.Lock()
+		c.startWait[unit] = append(c.startWait[unit], ch)
+		c.mu.Unlock()
+		c.g.Invalidate(ContentGroup(unit))
+		if err := c.g.SendToGroup(ContentGroup(unit), StartSession{Unit: unit}); err != nil {
+			return nil, fmt.Errorf("start session on %s: %w", unit, err)
+		}
+		select {
+		case st := <-ch:
+			sess := &ClientSession{
+				c:     c,
+				ID:    st.Session,
+				Unit:  unit,
+				Group: st.Group,
+				h:     h,
+			}
+			c.mu.Lock()
+			c.sessions[st.Session] = sess
+			c.mu.Unlock()
+			return sess, nil
+		case <-time.After(c.cfg.RequestTimeout):
+		}
+	}
+	return nil, fmt.Errorf("%w: StartSession(%s)", ErrTimeout, unit)
+}
+
+// ClientSession is an open session from the client's point of view: a
+// session group name to talk to, and a response stream. The client never
+// knows which server is the primary.
+type ClientSession struct {
+	c *Client
+	// ID is the session identifier.
+	ID ids.SessionID
+	// Unit is the content unit.
+	Unit ids.UnitName
+	// Group is the session group all requests are addressed to.
+	Group ids.GroupName
+
+	mu sync.Mutex
+	h  ResponseHandler
+}
+
+func (s *ClientSession) deliver(seq uint64, body wire.Message) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	if h != nil {
+		h(seq, body)
+	}
+}
+
+// Send transmits one context update / request into the session group. The
+// GCS's open-group machinery delivers it to the primary and every backup
+// regardless of membership changes.
+func (s *ClientSession) Send(body wire.Message) error {
+	s.c.g.Invalidate(s.Group)
+	return s.c.g.SendToGroup(s.Group, ClientRequest{Session: s.ID, Body: body})
+}
+
+// End closes the session, waiting for the service's confirmation
+// (best-effort: after retries the session is dropped locally regardless,
+// and the server's idle timeout eventually collects it).
+func (s *ClientSession) End() error {
+	var err error
+	for attempt := 0; attempt <= s.c.cfg.Retries; attempt++ {
+		ch := make(chan struct{})
+		s.c.mu.Lock()
+		s.c.endWait[s.ID] = append(s.c.endWait[s.ID], ch)
+		s.c.mu.Unlock()
+		s.c.g.Invalidate(s.Group)
+		if err = s.c.g.SendToGroup(s.Group, EndSession{Session: s.ID}); err != nil {
+			break
+		}
+		select {
+		case <-ch:
+			err = nil
+			goto done
+		case <-time.After(s.c.cfg.RequestTimeout):
+			err = fmt.Errorf("%w: EndSession(%d)", ErrTimeout, s.ID)
+		}
+	}
+done:
+	s.c.mu.Lock()
+	delete(s.c.sessions, s.ID)
+	delete(s.c.endWait, s.ID)
+	s.c.mu.Unlock()
+	return err
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hafw/internal/gcs"
+	"hafw/internal/ids"
+)
+
+func TestClientResolveAfterCrashLoop(t *testing.T) {
+	for iter := 0; iter < 8; iter++ {
+		w := newWorld(t, 3, 1, 100*time.Millisecond)
+		w.waitReady()
+		c := w.newClient(ids.ClientID(200 + iter))
+		sess, err := c.StartSession(unitU, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Send(updReq{S: "x", Echo: false}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(50 * time.Millisecond)
+		victim := w.servers[1].PrimaryOf(unitU, sess.ID)
+		w.net.Crash(ids.ProcessEndpoint(victim))
+		time.Sleep(500 * time.Millisecond)
+		err = sess.Send(updReq{S: "y"})
+		if err != nil {
+			if errors.Is(err, gcs.ErrNoServers) {
+				t.Errorf("iter %d: %v (victim %v)", iter, err, victim)
+			} else {
+				t.Fatalf("iter %d: unexpected %v", iter, err)
+			}
+		}
+		for _, s := range w.servers {
+			s.Stop()
+		}
+		w.net.Close()
+	}
+}

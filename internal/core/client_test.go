@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hafw/internal/ids"
+	"hafw/internal/transport/memnet"
+)
+
+func TestWaitUnit(t *testing.T) {
+	w := newWorld(t, 2, 0, 100*time.Millisecond)
+	c := w.newClient(400)
+	if err := c.WaitUnit(unitU, 2, 10*time.Second); err != nil {
+		t.Fatalf("WaitUnit: %v", err)
+	}
+	// An impossible replication degree times out.
+	err := c.WaitUnit(unitU, 9, 300*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// Unknown unit times out too.
+	if err := c.WaitUnit("nope", 1, 300*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestListUnitsTimesOutWithoutServers(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	t.Cleanup(net.Close)
+	ep, err := net.Attach(ids.ClientEndpoint(401))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(ClientConfig{
+		Self: 401, Transport: ep,
+		Servers:        []ids.ProcessID{55}, // nobody home
+		RequestTimeout: 50 * time.Millisecond,
+		Retries:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	if _, err := c.ListUnits(); err == nil {
+		t.Fatal("ListUnits should fail with no reachable service")
+	}
+}
+
+func TestStartSessionUnknownUnit(t *testing.T) {
+	w := newWorld(t, 2, 0, 100*time.Millisecond)
+	w.waitReady()
+	c := w.newClient(402)
+	if _, err := c.StartSession("no-such-unit", nil); err == nil {
+		t.Fatal("StartSession on a unit nobody serves must fail")
+	}
+}
+
+func TestStartSessionSurvivesOneCrashedBootstrap(t *testing.T) {
+	w := newWorld(t, 3, 1, 100*time.Millisecond)
+	w.waitReady()
+	// Crash the first bootstrap server: the client's retries must route
+	// around it.
+	w.net.Crash(ids.ProcessEndpoint(1))
+	waitFor(t, 30*time.Second, func() bool {
+		return len(w.servers[2].GroupMembers(ContentGroup(unitU))) == 2
+	}, "survivors reform")
+	c := w.newClient(403)
+	sess, err := c.StartSession(unitU, nil)
+	if err != nil {
+		t.Fatalf("StartSession: %v", err)
+	}
+	if err := sess.Send(updReq{S: "x"}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := sess.End(); err != nil {
+		t.Fatalf("End: %v", err)
+	}
+}
+
+func TestEndUnknownSessionIsBestEffort(t *testing.T) {
+	w := newWorld(t, 2, 0, 100*time.Millisecond)
+	w.waitReady()
+	c := w.newClient(404)
+	sess, err := c.StartSession(unitU, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.End(); err != nil {
+		t.Fatalf("first End: %v", err)
+	}
+	// A second End refers to a session the service already closed: it
+	// must return (an error or nil), not hang.
+	done := make(chan error, 1)
+	go func() { done <- sess.End() }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("second End hung")
+	}
+}
+
+func TestResponderAccessors(t *testing.T) {
+	w := newWorld(t, 2, 0, 100*time.Millisecond)
+	w.waitReady()
+	c := w.newClient(405)
+	sess, err := c.StartSession(unitU, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := w.servers[1].PrimaryOf(unitU, sess.ID)
+	ts := w.svcs[primary].session(sess.ID)
+	waitFor(t, 20*time.Second, func() bool { return ts != nil && ts.isActive() }, "active")
+	ts.mu.Lock()
+	r := ts.r
+	ts.mu.Unlock()
+	if r.Session() != sess.ID {
+		t.Errorf("Session() = %v", r.Session())
+	}
+	if r.Client() != 405 {
+		t.Errorf("Client() = %v", r.Client())
+	}
+}

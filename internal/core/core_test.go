@@ -1,0 +1,736 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hafw/internal/ids"
+	"hafw/internal/testutil"
+	"hafw/internal/transport/memnet"
+	"hafw/internal/wire"
+)
+
+// --- test service: an update log with echo responses ---
+
+type updReq struct {
+	S    string
+	Echo bool
+}
+
+func (updReq) WireName() string { return "coretest.updReq" }
+
+type echoResp struct {
+	S string
+}
+
+func (echoResp) WireName() string { return "coretest.echoResp" }
+
+func init() {
+	wire.Register(updReq{})
+	wire.Register(echoResp{})
+}
+
+// testCtx is the propagated context encoding.
+type testCtx struct {
+	Updates []string
+	Pos     int
+}
+
+func encodeCtx(c testCtx) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func decodeCtx(b []byte) testCtx {
+	var c testCtx
+	if len(b) == 0 {
+		return c
+	}
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&c); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// testService records every session it creates so tests can inspect
+// replica state.
+type testService struct {
+	self ids.ProcessID
+
+	mu       sync.Mutex
+	sessions map[ids.SessionID]*testSession
+}
+
+func newTestService(self ids.ProcessID) *testService {
+	return &testService{self: self, sessions: make(map[ids.SessionID]*testSession)}
+}
+
+func (ts *testService) NewSession(unit ids.UnitName, sid ids.SessionID, client ids.ClientID) Session {
+	s := &testSession{}
+	ts.mu.Lock()
+	ts.sessions[sid] = s
+	ts.mu.Unlock()
+	return s
+}
+
+func (ts *testService) session(sid ids.SessionID) *testSession {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.sessions[sid]
+}
+
+type testSession struct {
+	mu      sync.Mutex
+	ctx     testCtx
+	active  bool
+	r       Responder
+	closed  bool
+	syncs   int
+	applied int
+}
+
+func (s *testSession) ApplyUpdate(body wire.Message) {
+	u, ok := body.(updReq)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	s.ctx.Updates = append(s.ctx.Updates, u.S)
+	s.applied++
+	active, r := s.active, s.r
+	s.mu.Unlock()
+	if u.Echo && active && r != nil {
+		if r.Send(echoResp{S: u.S}) {
+			s.mu.Lock()
+			s.ctx.Pos++
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *testSession) Activate(r Responder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active, s.r = true, r
+}
+
+func (s *testSession) Deactivate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active, s.r = false, nil
+}
+
+func (s *testSession) Snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return encodeCtx(s.ctx)
+}
+
+func (s *testSession) Restore(ctx []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctx = decodeCtx(ctx)
+}
+
+func (s *testSession) Sync(ctx []byte) {
+	c := decodeCtx(ctx)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncs++
+	// Position knowledge flows from propagation; update knowledge is
+	// already local (totally ordered ApplyUpdate).
+	if c.Pos > s.ctx.Pos {
+		s.ctx.Pos = c.Pos
+	}
+	if len(c.Updates) > len(s.ctx.Updates) {
+		s.ctx.Updates = append([]string(nil), c.Updates...)
+	}
+}
+
+func (s *testSession) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}
+
+func (s *testSession) snapshotCtx() testCtx {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := s.ctx
+	cp.Updates = append([]string(nil), s.ctx.Updates...)
+	return cp
+}
+
+func (s *testSession) isActive() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// --- harness ---
+
+const unitU ids.UnitName = "u"
+
+type world struct {
+	t       *testing.T
+	net     *memnet.Network
+	servers map[ids.ProcessID]*Server
+	svcs    map[ids.ProcessID]*testService
+	pids    []ids.ProcessID
+	backups int
+	prop    time.Duration
+}
+
+func newWorld(t *testing.T, n, backups int, prop time.Duration) *world {
+	t.Helper()
+	w := &world{
+		t:       t,
+		net:     memnet.New(memnet.Config{}),
+		servers: make(map[ids.ProcessID]*Server),
+		svcs:    make(map[ids.ProcessID]*testService),
+		backups: backups,
+		prop:    prop,
+	}
+	t.Cleanup(func() {
+		for _, s := range w.servers {
+			s.Stop()
+		}
+		w.net.Close()
+	})
+	for i := 1; i <= n; i++ {
+		w.pids = append(w.pids, ids.ProcessID(i))
+	}
+	for _, pid := range w.pids {
+		w.addServer(pid)
+	}
+	return w
+}
+
+func (w *world) addServer(pid ids.ProcessID) *Server {
+	w.t.Helper()
+	ep, err := w.net.Attach(ids.ProcessEndpoint(pid))
+	if err != nil {
+		w.t.Fatalf("attach: %v", err)
+	}
+	svc := newTestService(pid)
+	srv, err := NewServer(Config{
+		Self:      pid,
+		Transport: ep,
+		World:     w.pids,
+		Units: []UnitConfig{{
+			Unit: unitU, Service: svc, Backups: w.backups, PropagationPeriod: w.prop,
+		}},
+		FDInterval:   10 * time.Millisecond * testutil.TimeScale,
+		FDTimeout:    60 * time.Millisecond * testutil.TimeScale,
+		RoundTimeout: 100 * time.Millisecond * testutil.TimeScale,
+		AckInterval:  15 * time.Millisecond * testutil.TimeScale,
+	})
+	if err != nil {
+		w.t.Fatalf("NewServer: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		w.t.Fatalf("Start: %v", err)
+	}
+	w.servers[pid] = srv
+	w.svcs[pid] = svc
+	return srv
+}
+
+// respSink collects responses for a session.
+type respSink struct {
+	mu   sync.Mutex
+	got  []echoResp
+	seqs []uint64
+}
+
+func (r *respSink) handler(seq uint64, body wire.Message) {
+	e, ok := body.(echoResp)
+	if !ok {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.got = append(r.got, e)
+	r.seqs = append(r.seqs, seq)
+}
+
+func (r *respSink) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.got)
+}
+
+func (w *world) newClient(cid ids.ClientID) *Client {
+	w.t.Helper()
+	ep, err := w.net.Attach(ids.ClientEndpoint(cid))
+	if err != nil {
+		w.t.Fatalf("attach client: %v", err)
+	}
+	c, err := NewClient(ClientConfig{
+		Self:           cid,
+		Transport:      ep,
+		Servers:        w.pids,
+		RequestTimeout: 400 * time.Millisecond,
+		Retries:        5,
+	})
+	if err != nil {
+		w.t.Fatalf("NewClient: %v", err)
+	}
+	w.t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout * testutil.TimeScale)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for: %s", msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitService waits until the service group and content group have formed.
+func (w *world) waitReady() {
+	w.t.Helper()
+	waitFor(w.t, 30*time.Second, func() bool {
+		for _, srv := range w.servers {
+			if len(srv.proc.GroupMembers(ContentGroup(unitU))) != len(w.pids) {
+				return false
+			}
+		}
+		return true
+	}, "content group formation")
+}
+
+// --- tests ---
+
+func TestListUnits(t *testing.T) {
+	w := newWorld(t, 3, 1, 100*time.Millisecond)
+	w.waitReady()
+	c := w.newClient(100)
+	units, err := c.ListUnits()
+	if err != nil {
+		t.Fatalf("ListUnits: %v", err)
+	}
+	if len(units) != 1 || units[0].Unit != unitU || units[0].Replicas != 3 {
+		t.Fatalf("units = %+v", units)
+	}
+	if units[0].Group != ContentGroup(unitU) {
+		t.Errorf("group = %v", units[0].Group)
+	}
+}
+
+func TestStartSessionAndEcho(t *testing.T) {
+	w := newWorld(t, 3, 1, 100*time.Millisecond)
+	w.waitReady()
+	c := w.newClient(100)
+
+	sink := &respSink{}
+	sess, err := c.StartSession(unitU, sink.handler)
+	if err != nil {
+		t.Fatalf("StartSession: %v", err)
+	}
+	if sess.Group != SessionGroup(unitU, sess.ID) {
+		t.Errorf("session group = %v", sess.Group)
+	}
+
+	if err := sess.Send(updReq{S: "hello", Echo: true}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	waitFor(t, 20*time.Second, func() bool { return sink.count() == 1 }, "echo response")
+	sink.mu.Lock()
+	if sink.got[0].S != "hello" {
+		t.Errorf("echo = %+v", sink.got[0])
+	}
+	sink.mu.Unlock()
+}
+
+func TestBackupsApplyUpdates(t *testing.T) {
+	w := newWorld(t, 3, 1, 100*time.Millisecond)
+	w.waitReady()
+	c := w.newClient(100)
+	sess, err := c.StartSession(unitU, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := sess.Send(updReq{S: fmt.Sprintf("u%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Find primary and backup replicas and check both applied all updates.
+	primary := w.servers[1].PrimaryOf(unitU, sess.ID)
+	if primary == ids.Nil {
+		t.Fatal("no primary recorded")
+	}
+	applied := 0
+	for _, pid := range w.pids {
+		if ts := w.svcs[pid].session(sess.ID); ts != nil {
+			pid := pid
+			waitFor(t, 20*time.Second, func() bool {
+				return len(w.svcs[pid].session(sess.ID).snapshotCtx().Updates) == 5
+			}, fmt.Sprintf("replica at p%d applies all updates", pid))
+			applied++
+		}
+	}
+	if applied != 2 { // primary + 1 backup
+		t.Errorf("replica count = %d, want 2 (primary + backup)", applied)
+	}
+}
+
+func TestPrimaryCrashBackupTakesOverWithFullContext(t *testing.T) {
+	w := newWorld(t, 3, 1, 100*time.Millisecond)
+	w.waitReady()
+	c := w.newClient(100)
+	sink := &respSink{}
+	sess, err := c.StartSession(unitU, sink.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := sess.Send(updReq{S: fmt.Sprintf("pre%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	primary := w.servers[1].PrimaryOf(unitU, sess.ID)
+	waitFor(t, 20*time.Second, func() bool {
+		ts := w.svcs[primary].session(sess.ID)
+		return ts != nil && len(ts.snapshotCtx().Updates) == 5
+	}, "primary applied pre-crash updates")
+
+	w.net.Crash(ids.ProcessEndpoint(primary))
+
+	// A survivor (the backup) must take over.
+	var survivor ids.ProcessID
+	for _, pid := range w.pids {
+		if pid != primary {
+			survivor = pid
+			break
+		}
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		np := w.servers[survivor].PrimaryOf(unitU, sess.ID)
+		return np != ids.Nil && np != primary
+	}, "new primary elected")
+	newPrimary := w.servers[survivor].PrimaryOf(unitU, sess.ID)
+
+	// The new primary was the backup: it has every pre-crash update (the
+	// paper's claim for the intermediate synchronization level).
+	waitFor(t, 20*time.Second, func() bool {
+		ts := w.svcs[newPrimary].session(sess.ID)
+		return ts != nil && ts.isActive()
+	}, "new primary activated")
+	got := w.svcs[newPrimary].session(sess.ID).snapshotCtx().Updates
+	if len(got) != 5 {
+		t.Errorf("new primary has %d updates, want all 5 (backup sees every update)", len(got))
+	}
+
+	// The client keeps using the same session, oblivious.
+	waitFor(t, 30*time.Second, func() bool {
+		if err := sess.Send(updReq{S: "post", Echo: true}); err != nil {
+			return false
+		}
+		time.Sleep(50 * time.Millisecond)
+		return sink.count() >= 1
+	}, "client gets responses from the new primary")
+}
+
+func TestWholeSessionGroupCrashDraftsFromUnitDB(t *testing.T) {
+	// B=0: only a primary. Kill it; a fresh server must be drafted with
+	// the propagated (possibly stale) context — and updates after the last
+	// propagation are lost, which is exactly the paper's analyzed risk.
+	w := newWorld(t, 3, 0, 50*time.Millisecond)
+	w.waitReady()
+	c := w.newClient(100)
+	sess, err := c.StartSession(unitU, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Send(updReq{S: "first"}); err != nil {
+		t.Fatal(err)
+	}
+	primary := w.servers[1].PrimaryOf(unitU, sess.ID)
+	// Wait for at least one propagation to carry "first" into the db.
+	waitFor(t, 20*time.Second, func() bool {
+		for _, pid := range w.pids {
+			if pid == primary {
+				continue
+			}
+			w.servers[pid].mu.Lock()
+			u := w.servers[pid].units[unitU]
+			rec := u.db.Get(sess.ID)
+			ok := rec != nil && rec.Stamp > 0
+			w.servers[pid].mu.Unlock()
+			if ok {
+				return true
+			}
+		}
+		return false
+	}, "context propagated to unit database")
+
+	w.net.Crash(ids.ProcessEndpoint(primary))
+	var survivor ids.ProcessID
+	for _, pid := range w.pids {
+		if pid != primary {
+			survivor = pid
+			break
+		}
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		np := w.servers[survivor].PrimaryOf(unitU, sess.ID)
+		return np != ids.Nil && np != primary
+	}, "fresh server drafted as primary")
+	newPrimary := w.servers[survivor].PrimaryOf(unitU, sess.ID)
+	waitFor(t, 20*time.Second, func() bool {
+		ts := w.svcs[newPrimary].session(sess.ID)
+		return ts != nil && ts.isActive()
+	}, "drafted primary activated")
+	got := w.svcs[newPrimary].session(sess.ID).snapshotCtx().Updates
+	if len(got) != 1 || got[0] != "first" {
+		t.Errorf("drafted primary restored %v, want [first] from propagation", got)
+	}
+}
+
+func TestUnitDBReplicaConsistency(t *testing.T) {
+	w := newWorld(t, 3, 1, 50*time.Millisecond)
+	w.waitReady()
+	c := w.newClient(100)
+	var sessions []*ClientSession
+	for i := 0; i < 4; i++ {
+		sess, err := c.StartSession(unitU, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, sess)
+		if err := sess.Send(updReq{S: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After the dust settles, every replica's unit database is identical.
+	waitFor(t, 30*time.Second, func() bool {
+		ref := w.servers[1].DBChecksum(unitU)
+		for _, pid := range w.pids[1:] {
+			if w.servers[pid].DBChecksum(unitU) != ref {
+				return false
+			}
+		}
+		return w.servers[1].DBSessions(unitU) == 4
+	}, "unit database replica consistency")
+}
+
+func TestEndSessionRemovesEverywhere(t *testing.T) {
+	w := newWorld(t, 3, 1, 100*time.Millisecond)
+	w.waitReady()
+	c := w.newClient(100)
+	sess, err := c.StartSession(unitU, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.End(); err != nil {
+		t.Fatalf("End: %v", err)
+	}
+	for _, pid := range w.pids {
+		pid := pid
+		waitFor(t, 20*time.Second, func() bool {
+			return w.servers[pid].DBSessions(unitU) == 0
+		}, "session removed from every replica")
+	}
+}
+
+func TestJoinTriggersStateExchangeAndRebalance(t *testing.T) {
+	w := newWorld(t, 2, 0, 50*time.Millisecond)
+	w.waitReady()
+	c := w.newClient(100)
+	var ids_ []ids.SessionID
+	for i := 0; i < 6; i++ {
+		sess, err := c.StartSession(unitU, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids_ = append(ids_, sess.ID)
+	}
+
+	// A third server joins; exchange must spread the database to it.
+	w.pids = append(w.pids, 3)
+	w.addServer(3)
+	for _, pid := range []ids.ProcessID{1, 2} {
+		w.servers[pid].AddPeer(3)
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		return w.servers[3].DBSessions(unitU) == 6
+	}, "joiner received the unit database")
+	waitFor(t, 30*time.Second, func() bool {
+		ref := w.servers[1].DBChecksum(unitU)
+		return w.servers[2].DBChecksum(unitU) == ref && w.servers[3].DBChecksum(unitU) == ref
+	}, "checksums equal across joiner and old members")
+
+	// Load was rebalanced: the joiner serves at least one session.
+	waitFor(t, 30*time.Second, func() bool {
+		n := 0
+		for _, sid := range ids_ {
+			if w.servers[1].PrimaryOf(unitU, sid) == 3 {
+				n++
+			}
+		}
+		return n >= 1
+	}, "joiner became primary for some sessions")
+}
+
+func TestMigrationHandoffPreservesContext(t *testing.T) {
+	w := newWorld(t, 2, 0, time.Hour) // propagation effectively off
+	w.waitReady()
+	c := w.newClient(100)
+	var sessions []*ClientSession
+	for i := 0; i < 6; i++ {
+		sess, err := c.StartSession(unitU, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, sess)
+		for j := 0; j < 3; j++ {
+			if err := sess.Send(updReq{S: fmt.Sprintf("s%d-%d", i, j)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Wait until every session's primary applied its updates.
+	waitFor(t, 30*time.Second, func() bool {
+		for _, sess := range sessions {
+			p := w.servers[1].PrimaryOf(unitU, sess.ID)
+			if p == ids.Nil {
+				return false
+			}
+			ts := w.svcs[p].session(sess.ID)
+			if ts == nil || len(ts.snapshotCtx().Updates) != 3 {
+				return false
+			}
+		}
+		return true
+	}, "primaries applied updates")
+
+	// Server 3 joins → rebalancing migrates live sessions; with
+	// propagation off, only the Handoff can preserve context.
+	w.pids = append(w.pids, 3)
+	w.addServer(3)
+	w.servers[1].AddPeer(3)
+	w.servers[2].AddPeer(3)
+
+	waitFor(t, 30*time.Second, func() bool {
+		for _, sess := range sessions {
+			if w.servers[1].PrimaryOf(unitU, sess.ID) == 3 {
+				return true
+			}
+		}
+		return false
+	}, "a session migrated to the joiner")
+
+	// Any migrated session must have full context at the new primary.
+	waitFor(t, 30*time.Second, func() bool {
+		for _, sess := range sessions {
+			if w.servers[1].PrimaryOf(unitU, sess.ID) != 3 {
+				continue
+			}
+			ts := w.svcs[3].session(sess.ID)
+			if ts == nil || len(ts.snapshotCtx().Updates) != 3 {
+				return false
+			}
+		}
+		return true
+	}, "handoff delivered full context to the new primary")
+}
+
+func TestResponderInactiveAfterDemotion(t *testing.T) {
+	w := newWorld(t, 2, 1, 100*time.Millisecond)
+	w.waitReady()
+	c := w.newClient(100)
+	sess, err := c.StartSession(unitU, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := w.servers[1].PrimaryOf(unitU, sess.ID)
+	ts := w.svcs[primary].session(sess.ID)
+	waitFor(t, 20*time.Second, func() bool { return ts != nil && ts.isActive() }, "primary active")
+
+	// Grab the responder, then crash-demote by killing the OTHER server
+	// won't demote; instead simulate demotion via session end.
+	ts.mu.Lock()
+	r := ts.r
+	ts.mu.Unlock()
+	if err := sess.End(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 20*time.Second, func() bool { return w.servers[primary].DBSessions(unitU) == 0 }, "closed")
+	if r.Send(echoResp{S: "zombie"}) {
+		t.Error("responder must refuse to send after the session closed")
+	}
+}
+
+func TestIdleSessionGarbageCollected(t *testing.T) {
+	w := &world{
+		t:       t,
+		net:     memnet.New(memnet.Config{}),
+		servers: make(map[ids.ProcessID]*Server),
+		svcs:    make(map[ids.ProcessID]*testService),
+		backups: 0,
+		prop:    30 * time.Millisecond,
+	}
+	t.Cleanup(func() {
+		for _, s := range w.servers {
+			s.Stop()
+		}
+		w.net.Close()
+	})
+	w.pids = []ids.ProcessID{1}
+	// Custom server with IdleTimeout.
+	ep, err := w.net.Attach(ids.ProcessEndpoint(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := newTestService(1)
+	srv, err := NewServer(Config{
+		Self: 1, Transport: ep, World: w.pids,
+		Units: []UnitConfig{{
+			Unit: unitU, Service: svc, Backups: 0,
+			PropagationPeriod: 30 * time.Millisecond,
+			IdleTimeout:       150 * time.Millisecond,
+		}},
+		FDInterval: 10 * time.Millisecond, FDTimeout: 60 * time.Millisecond,
+		RoundTimeout: 100 * time.Millisecond, AckInterval: 15 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	w.servers[1] = srv
+	w.svcs[1] = svc
+
+	c := w.newClient(100)
+	if _, err := c.StartSession(unitU, nil); err != nil {
+		t.Fatal(err)
+	}
+	if srv.DBSessions(unitU) != 1 {
+		t.Fatal("session not registered")
+	}
+	waitFor(t, 20*time.Second, func() bool { return srv.DBSessions(unitU) == 0 },
+		"idle session garbage collected")
+}
+
+func TestGroupNames(t *testing.T) {
+	if ContentGroup("m") != "content/m" {
+		t.Error("ContentGroup mismatch")
+	}
+	if SessionGroup("m", 7) != "session/m/7" {
+		t.Error("SessionGroup mismatch")
+	}
+}

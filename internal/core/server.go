@@ -1,0 +1,910 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hafw/internal/gcs"
+	"hafw/internal/ids"
+	"hafw/internal/membership"
+	"hafw/internal/metrics"
+	"hafw/internal/trace"
+	"hafw/internal/transport"
+	"hafw/internal/unitdb"
+	"hafw/internal/vsync"
+	"hafw/internal/wire"
+)
+
+// UnitConfig configures one content unit hosted by a server. The
+// configurable parameters of the paper live here: Backups (the size of the
+// intermediate synchronization level) and PropagationPeriod (the freshness
+// of the unit database).
+type UnitConfig struct {
+	// Unit names the content unit.
+	Unit ids.UnitName
+	// Service is the application logic for this unit on this server.
+	Service Service
+	// Backups is the number of backup servers per session (the paper's
+	// session groups "typically consist of up to three servers", i.e.
+	// Backups ∈ {0, 1, 2}; the VoD instance of [2] is Backups = 0).
+	Backups int
+	// PropagationPeriod is how often the primary propagates session
+	// contexts to the content group (0.5s in the VoD instance). Zero means
+	// 500ms.
+	PropagationPeriod time.Duration
+	// IdleTimeout, if non-zero, makes the primary close sessions with no
+	// client traffic for this long (garbage collection for clients that
+	// vanished).
+	IdleTimeout time.Duration
+}
+
+// Config parameterizes a framework server.
+type Config struct {
+	// Self is this server's process identity.
+	Self ids.ProcessID
+	// Transport is the attached network endpoint.
+	Transport transport.Transport
+	// World lists the processes this server initially monitors.
+	World []ids.ProcessID
+	// Units lists the content units this server hosts (partial
+	// replication: different servers may host different unit sets).
+	Units []UnitConfig
+	// Metrics receives instrumentation; nil creates a private registry.
+	Metrics *metrics.Registry
+	// Tracer, if set, records promote/demote events for the invariant
+	// checkers in package trace.
+	Tracer *trace.Recorder
+
+	// FDInterval, FDTimeout, RoundTimeout, AckInterval tune the GCS stack
+	// (see gcs.Config).
+	FDInterval, FDTimeout, RoundTimeout, AckInterval time.Duration
+}
+
+// role is a replica's relationship to one session.
+type role int
+
+const (
+	roleNone role = iota
+	roleBackup
+	rolePrimary
+)
+
+// liveSession is the server-side state of one session this server
+// participates in.
+type liveSession struct {
+	sid          ids.SessionID
+	client       ids.ClientID
+	app          Session
+	role         role
+	resp         *responder
+	lastStamp    uint64
+	lastActivity time.Time
+	// sgMembers is the latest session-group view at this member.
+	sgMembers []ids.ProcessID
+}
+
+// exchange tracks one in-progress join-time state exchange.
+type exchange struct {
+	viewPV  ids.ViewID
+	viewN   uint64
+	members []ids.ProcessID
+	snaps   map[ids.ProcessID]unitdb.Snapshot
+}
+
+// unitState is the server's state for one hosted content unit.
+type unitState struct {
+	cfg  UnitConfig
+	db   *unitdb.DB
+	view vsync.GroupView
+	live map[ids.SessionID]*liveSession
+	exch *exchange
+	// pendingStart tracks sessions whose SessionStarted reply (and first
+	// activation) waits for the session group to form — paper Section 3.4:
+	// members join first, "now the primary server begins sending responses
+	// to the client".
+	pendingStart map[ids.SessionID]ids.ClientID
+	// pendingHandoffs buffers handoffs that arrived before this server
+	// learned of the session (a direct message can outrun the totally
+	// ordered state exchange that introduces the session here).
+	pendingHandoffs map[ids.SessionID]Handoff
+}
+
+// sessionRef locates a session from its group name.
+type sessionRef struct {
+	unit ids.UnitName
+	sid  ids.SessionID
+}
+
+// Server is one framework server process: it hosts replicas of content
+// units, participates in the three group scales, and serves clients.
+type Server struct {
+	cfg Config
+	reg *metrics.Registry
+
+	proc *gcs.Process
+
+	mu       sync.Mutex
+	units    map[ids.UnitName]*unitState
+	sessions map[ids.GroupName]sessionRef
+	svcView  vsync.GroupView
+	stopped  bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewServer wires a server. Call Start to bring it up.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Self == ids.Nil {
+		return nil, errors.New("core: Config.Self is required")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("core: Config.Transport is required")
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      reg,
+		units:    make(map[ids.UnitName]*unitState),
+		sessions: make(map[ids.GroupName]sessionRef),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for i := range cfg.Units {
+		uc := cfg.Units[i]
+		if uc.Unit == "" || uc.Service == nil {
+			return nil, errors.New("core: UnitConfig requires Unit and Service")
+		}
+		if uc.PropagationPeriod == 0 {
+			uc.PropagationPeriod = 500 * time.Millisecond
+		}
+		if _, dup := s.units[uc.Unit]; dup {
+			return nil, errors.New("core: duplicate unit " + string(uc.Unit))
+		}
+		s.units[uc.Unit] = &unitState{
+			cfg:             uc,
+			db:              unitdb.New(uc.Unit),
+			live:            make(map[ids.SessionID]*liveSession),
+			pendingStart:    make(map[ids.SessionID]ids.ClientID),
+			pendingHandoffs: make(map[ids.SessionID]Handoff),
+		}
+	}
+	proc, err := gcs.NewProcess(gcs.Config{
+		Self:         cfg.Self,
+		Transport:    cfg.Transport,
+		World:        cfg.World,
+		OnEvent:      s.onEvent,
+		OnDirect:     s.onDirect,
+		FDInterval:   cfg.FDInterval,
+		FDTimeout:    cfg.FDTimeout,
+		RoundTimeout: cfg.RoundTimeout,
+		AckInterval:  cfg.AckInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.proc = proc
+	return s, nil
+}
+
+// Start brings the server up: it joins the service group and its content
+// groups and begins propagation.
+func (s *Server) Start() error {
+	s.proc.Start()
+	if err := s.proc.Join(ServiceGroup); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	units := make([]*unitState, 0, len(s.units))
+	for _, u := range s.units {
+		units = append(units, u)
+	}
+	s.mu.Unlock()
+	for _, u := range units {
+		if err := s.proc.Join(ContentGroup(u.cfg.Unit)); err != nil {
+			return err
+		}
+	}
+	go s.propagationLoop()
+	return nil
+}
+
+// Stop shuts the server down.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+	s.proc.Stop()
+}
+
+// Self returns this server's process ID.
+func (s *Server) Self() ids.ProcessID { return s.cfg.Self }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// AddPeer adds a newly spawned server to the monitored world.
+func (s *Server) AddPeer(p ids.ProcessID) { s.proc.AddPeer(p) }
+
+// ProcessView exposes the current process-level membership view (test and
+// monitoring hook).
+func (s *Server) ProcessView() membership.View {
+	return s.proc.View()
+}
+
+// GroupMembers exposes the GCS's view of a group's membership (test and
+// monitoring hook).
+func (s *Server) GroupMembers(g ids.GroupName) []ids.ProcessID {
+	return s.proc.GroupMembers(g)
+}
+
+// PrimaryOf reports the unit database's current primary for a session
+// (test and monitoring hook).
+func (s *Server) PrimaryOf(unit ids.UnitName, sid ids.SessionID) ids.ProcessID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u := s.units[unit]
+	if u == nil {
+		return ids.Nil
+	}
+	sess := u.db.Get(sid)
+	if sess == nil {
+		return ids.Nil
+	}
+	return sess.Primary
+}
+
+// DBChecksum returns the unit database checksum (replica-consistency
+// assertions in tests).
+func (s *Server) DBChecksum(unit ids.UnitName) [32]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u := s.units[unit]
+	if u == nil {
+		return [32]byte{}
+	}
+	return u.db.Checksum()
+}
+
+// DBSessions returns the unit database's session count.
+func (s *Server) DBSessions(unit ids.UnitName) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u := s.units[unit]
+	if u == nil {
+		return 0
+	}
+	return u.db.Len()
+}
+
+// --- event handling (single goroutine via gcs) ---
+
+func (s *Server) onEvent(e gcs.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch ev := e.(type) {
+	case gcs.ViewEvent:
+		s.onViewLocked(ev)
+	case gcs.MessageEvent:
+		s.onMessageLocked(ev)
+	}
+}
+
+func (s *Server) onViewLocked(ev gcs.ViewEvent) {
+	g := ev.View.Group
+	switch {
+	case g == ServiceGroup:
+		s.svcView = ev.View
+	case strings.HasPrefix(string(g), "content/"):
+		unit := ids.UnitName(strings.TrimPrefix(string(g), "content/"))
+		if u := s.units[unit]; u != nil {
+			s.onContentViewLocked(u, ev)
+		}
+	default:
+		// Session-group view: track membership and release any pending
+		// session start once the group has formed.
+		if ref, ok := s.sessions[g]; ok {
+			if u := s.units[ref.unit]; u != nil {
+				if live := u.live[ref.sid]; live != nil {
+					live.sgMembers = ev.View.Members
+				}
+				s.checkPendingLocked(u, ref.sid)
+			}
+		}
+	}
+}
+
+// checkPendingLocked promotes and replies for a pending session start once
+// every (still-alive) allocated member has joined the session group.
+func (s *Server) checkPendingLocked(u *unitState, sid ids.SessionID) {
+	client, pending := u.pendingStart[sid]
+	if !pending {
+		return
+	}
+	sess := u.db.Get(sid)
+	if sess == nil {
+		delete(u.pendingStart, sid)
+		return
+	}
+	live := u.live[sid]
+	if live == nil {
+		// This server is no longer involved; someone else replies.
+		delete(u.pendingStart, sid)
+		return
+	}
+	for _, p := range sess.SessionGroup() {
+		if !containsProc(u.view.Members, p) {
+			continue // crashed before joining; reallocation handles it
+		}
+		if !containsProc(live.sgMembers, p) {
+			return // group not formed yet
+		}
+	}
+	delete(u.pendingStart, sid)
+	if sess.Primary == s.cfg.Self {
+		if live.resp == nil {
+			s.promoteLocked(u, live, sess.Stamp)
+		}
+		_ = s.proc.Send(ids.ClientEndpoint(client), SessionStarted{
+			Unit: u.cfg.Unit, Session: sid, Group: SessionGroup(u.cfg.Unit, sid),
+		})
+	}
+}
+
+// onContentViewLocked implements Section 3.4: crash-only changes
+// reallocate immediately from the (identical, thanks to virtual synchrony)
+// unit databases; changes with joiners first run a state exchange.
+func (s *Server) onContentViewLocked(u *unitState, ev gcs.ViewEvent) {
+	u.view = ev.View
+	s.reg.Counter("content_views").Inc()
+	if len(ev.Joined) > 0 || u.exch != nil {
+		// Joiners present (or a superseded exchange must be restarted):
+		// exchange snapshots first.
+		s.reg.Counter("state_exchanges").Inc()
+		u.exch = &exchange{
+			viewPV:  ev.View.ID.PV,
+			viewN:   ev.View.ID.N,
+			members: ev.View.Members,
+			snaps:   make(map[ids.ProcessID]unitdb.Snapshot, len(ev.View.Members)),
+		}
+		snap := u.db.Snapshot()
+		_ = s.proc.Multicast(ContentGroup(u.cfg.Unit), StateExchange{
+			Unit: u.cfg.Unit, ViewPV: ev.View.ID.PV, ViewN: ev.View.ID.N, Snap: snap,
+		})
+		return
+	}
+	// Failures only: immediate deterministic takeover, no extra messages.
+	s.reg.Counter("immediate_reallocs").Inc()
+	changes := u.db.Reallocate(ev.View.Members, u.cfg.Backups)
+	s.applyChangesLocked(u, changes)
+}
+
+func (s *Server) onMessageLocked(ev gcs.MessageEvent) {
+	g := ev.Group
+	switch {
+	case g == ServiceGroup:
+		s.onServiceMsgLocked(ev)
+	case strings.HasPrefix(string(g), "content/"):
+		unit := ids.UnitName(strings.TrimPrefix(string(g), "content/"))
+		if u := s.units[unit]; u != nil {
+			s.onContentMsgLocked(u, ev)
+		}
+	default:
+		if ref, ok := s.sessions[g]; ok {
+			if u := s.units[ref.unit]; u != nil {
+				s.onSessionMsgLocked(u, ref.sid, ev)
+			}
+		}
+	}
+}
+
+func (s *Server) onServiceMsgLocked(ev gcs.MessageEvent) {
+	switch ev.Payload.(type) {
+	case ListUnits:
+		// Exactly one member answers: the least member of the current
+		// service group view (every member sees the same view, so the
+		// choice is consistent).
+		if len(s.svcView.Members) == 0 || s.svcView.Members[0] != s.cfg.Self {
+			return
+		}
+		client, ok := ev.From.Client()
+		if !ok {
+			return
+		}
+		var infos []UnitInfo
+		for _, g := range s.proc.GroupsWithPrefix("content/") {
+			members := s.proc.GroupMembers(g)
+			if len(members) == 0 {
+				continue
+			}
+			infos = append(infos, UnitInfo{
+				Unit:     ids.UnitName(strings.TrimPrefix(string(g), "content/")),
+				Group:    g,
+				Replicas: len(members),
+			})
+		}
+		sort.Slice(infos, func(i, j int) bool { return infos[i].Unit < infos[j].Unit })
+		_ = s.proc.Send(ids.ClientEndpoint(client), UnitList{Units: infos})
+	}
+}
+
+func (s *Server) onContentMsgLocked(u *unitState, ev gcs.MessageEvent) {
+	switch msg := ev.Payload.(type) {
+	case StartSession:
+		s.onStartSessionLocked(u, ev.From, msg)
+	case PropagateCtx:
+		s.onPropagateLocked(u, msg)
+	case SessionClosed:
+		s.onSessionClosedLocked(u, msg.Session)
+	case StateExchange:
+		s.onStateExchangeLocked(u, ev.From, msg)
+	}
+}
+
+// onStartSessionLocked is delivered identically at every content-group
+// member: all create the same session record and compute the same
+// allocation; the selected servers join the session group; the primary
+// replies to the client.
+func (s *Server) onStartSessionLocked(u *unitState, from ids.EndpointID, msg StartSession) {
+	client, ok := from.Client()
+	if !ok {
+		return
+	}
+	sess := u.db.CreateSession(client)
+	s.flushPendingHandoffsLocked(u)
+	primary, backups := u.db.Allocate(sess.ID, u.view.Members, u.cfg.Backups)
+	s.reg.Counter("sessions_started").Inc()
+
+	switch {
+	case primary == s.cfg.Self:
+		live := s.draftLocked(u, sess)
+		live.role = rolePrimary
+		u.pendingStart[sess.ID] = client
+	case containsProc(backups, s.cfg.Self):
+		live := s.draftLocked(u, sess)
+		live.role = roleBackup
+		u.pendingStart[sess.ID] = client
+	}
+}
+
+// onPropagateLocked applies a primary's context propagation to the unit
+// database, and refreshes live backup replicas.
+func (s *Server) onPropagateLocked(u *unitState, msg PropagateCtx) {
+	for _, e := range msg.Entries {
+		if !u.db.UpdateContext(e.Session, e.Ctx, e.Stamp) {
+			continue
+		}
+		if live := u.live[e.Session]; live != nil && live.role == roleBackup {
+			live.app.Sync(e.Ctx)
+		}
+	}
+	s.reg.Counter("propagations_applied").Inc()
+	s.reg.Counter("propagation_entries_applied").Add(uint64(len(msg.Entries)))
+}
+
+func (s *Server) onSessionClosedLocked(u *unitState, sid ids.SessionID) {
+	u.db.Remove(sid)
+	delete(u.pendingStart, sid)
+	delete(u.pendingHandoffs, sid)
+	if live := u.live[sid]; live != nil {
+		s.dropLiveLocked(u, live)
+	}
+	s.reg.Counter("sessions_closed").Inc()
+}
+
+// onStateExchangeLocked collects snapshots; when every member of the
+// exchange's view has contributed, all members merge identically and
+// reallocate.
+func (s *Server) onStateExchangeLocked(u *unitState, from ids.EndpointID, msg StateExchange) {
+	p, ok := from.Process()
+	if !ok || u.exch == nil || msg.ViewPV != u.exch.viewPV || msg.ViewN != u.exch.viewN {
+		return
+	}
+	snap, ok := msg.Snap.(unitdb.Snapshot)
+	if !ok {
+		return
+	}
+	u.exch.snaps[p] = snap
+	for _, m := range u.exch.members {
+		if _, have := u.exch.snaps[m]; !have {
+			return
+		}
+	}
+	// Complete: merge in sorted member order (merge is order-independent,
+	// but determinism is cheap to make obvious).
+	members := u.exch.members
+	for _, m := range members {
+		if m == s.cfg.Self {
+			continue
+		}
+		u.db.Merge(u.exch.snaps[m])
+	}
+	u.exch = nil
+	// Handoffs may have raced ahead of the exchange; apply them before
+	// drafting so Restore sees the freshest context.
+	s.flushPendingHandoffsLocked(u)
+	// The merge may have brought fresher contexts than a live replica
+	// holds (for example, a replica that was briefly partitioned alone and
+	// missed a propagation). Refresh such replicas so primaries never keep
+	// serving from a stale context after reconciliation.
+	for sid, live := range u.live {
+		if rec := u.db.Get(sid); rec != nil && rec.Stamp > live.lastStamp {
+			live.lastStamp = rec.Stamp
+			live.app.Sync(rec.Context)
+		}
+	}
+	// Joins rebalance the load fairly (Section 3.4), at the cost of
+	// migrating some sessions away from live primaries.
+	changes := u.db.ReallocateBalanced(members, u.cfg.Backups)
+	s.applyChangesLocked(u, changes)
+}
+
+func (s *Server) onSessionMsgLocked(u *unitState, sid ids.SessionID, ev gcs.MessageEvent) {
+	live := u.live[sid]
+	if live == nil {
+		return
+	}
+	switch msg := ev.Payload.(type) {
+	case ClientRequest:
+		if msg.Session != sid {
+			return
+		}
+		live.lastActivity = time.Now()
+		live.app.ApplyUpdate(msg.Body)
+		s.reg.Counter("updates_applied").Inc()
+		if live.role == rolePrimary {
+			s.reg.Counter("updates_applied_primary").Inc()
+		} else {
+			s.reg.Counter("updates_applied_backup").Inc()
+		}
+	case EndSession:
+		if live.role != rolePrimary {
+			return
+		}
+		if c, ok := ev.From.Client(); ok {
+			_ = s.proc.Send(ids.ClientEndpoint(c), SessionEnded{Session: sid})
+		}
+		_ = s.proc.Multicast(ContentGroup(u.cfg.Unit), SessionClosed{Unit: u.cfg.Unit, Session: sid})
+	}
+}
+
+// onDirect handles point-to-point messages (handoffs from demoted
+// primaries).
+func (s *Server) onDirect(from ids.EndpointID, m wire.Message) {
+	ho, ok := m.(Handoff)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u := s.units[ho.Unit]
+	if u == nil {
+		return
+	}
+	if u.db.Get(ho.Session) == nil {
+		// The direct handoff outran the ordered state exchange that will
+		// introduce this session here; hold it.
+		u.pendingHandoffs[ho.Session] = ho
+		return
+	}
+	s.applyHandoffLocked(u, ho)
+}
+
+// applyHandoffLocked folds a handoff's context into the database and any
+// live replica.
+func (s *Server) applyHandoffLocked(u *unitState, ho Handoff) {
+	u.db.UpdateContext(ho.Session, ho.Ctx, ho.Stamp)
+	s.reg.Counter("handoffs_received").Inc()
+	live := u.live[ho.Session]
+	if live == nil {
+		return
+	}
+	if live.lastStamp < ho.Stamp {
+		live.lastStamp = ho.Stamp
+	}
+	live.app.Sync(ho.Ctx)
+	if live.role == rolePrimary && live.resp != nil {
+		live.resp.bumpSeq(ho.RespSeq)
+	}
+}
+
+// flushPendingHandoffsLocked applies buffered handoffs whose sessions now
+// exist.
+func (s *Server) flushPendingHandoffsLocked(u *unitState) {
+	for sid, ho := range u.pendingHandoffs {
+		if u.db.Get(sid) == nil {
+			continue
+		}
+		delete(u.pendingHandoffs, sid)
+		s.applyHandoffLocked(u, ho)
+	}
+}
+
+// --- allocation application ---
+
+// applyChangesLocked enacts a deterministic reallocation at this server:
+// drafting replicas, promoting/demoting primaries, and adjusting session
+// group membership (joins before leaves, per Section 3.4).
+func (s *Server) applyChangesLocked(u *unitState, changes []unitdb.Change) {
+	for _, c := range changes {
+		sess := u.db.Get(c.SessionID)
+		if sess == nil {
+			continue
+		}
+		live := u.live[c.SessionID]
+		inGroup := sess.InGroup(s.cfg.Self)
+
+		switch {
+		case sess.Primary == s.cfg.Self:
+			if live == nil {
+				live = s.draftLocked(u, sess)
+			}
+			live.role = rolePrimary
+			if _, pending := u.pendingStart[c.SessionID]; !pending && live.resp == nil {
+				if c.OldPrimary != s.cfg.Self && c.PrimaryChanged() {
+					s.reg.Counter("takeovers").Inc()
+				}
+				s.promoteLocked(u, live, sess.Stamp)
+			}
+		case inGroup: // backup here
+			if live == nil {
+				live = s.draftLocked(u, sess)
+				live.role = roleBackup
+			} else if live.role == rolePrimary {
+				s.demoteLocked(u, live, sess.Primary)
+				live.role = roleBackup
+			} else {
+				live.role = roleBackup
+			}
+		default: // not in the session group anymore
+			if live != nil {
+				if live.role == rolePrimary {
+					s.demoteLocked(u, live, sess.Primary)
+				}
+				s.dropLiveLocked(u, live)
+			}
+		}
+		if c.PrimaryChanged() {
+			s.reg.Counter("migrations").Inc()
+		}
+	}
+	// Allocation moved: pending starts may have become satisfiable (for
+	// example, an allocated backup crashed before joining).
+	for sid := range u.pendingStart {
+		s.checkPendingLocked(u, sid)
+	}
+}
+
+// draftLocked creates the live replica for a session this server now
+// participates in, seeding it from the unit database's propagated context,
+// and joins the session group.
+func (s *Server) draftLocked(u *unitState, sess *unitdb.Session) *liveSession {
+	live := &liveSession{
+		sid:          sess.ID,
+		client:       sess.Client,
+		app:          u.cfg.Service.NewSession(u.cfg.Unit, sess.ID, sess.Client),
+		role:         roleNone,
+		lastStamp:    sess.Stamp,
+		lastActivity: time.Now(),
+	}
+	live.app.Restore(sess.Context)
+	u.live[sess.ID] = live
+	group := SessionGroup(u.cfg.Unit, sess.ID)
+	s.sessions[group] = sessionRef{unit: u.cfg.Unit, sid: sess.ID}
+	_ = s.proc.Join(group)
+	s.reg.Counter("drafts").Inc()
+	return live
+}
+
+// promoteLocked makes this server the session's primary.
+func (s *Server) promoteLocked(u *unitState, live *liveSession, stamp uint64) {
+	live.role = rolePrimary
+	live.resp = newResponder(s, u.cfg.Unit, live.sid, live.client, stamp)
+	live.app.Activate(live.resp)
+	s.reg.Counter("promotions").Inc()
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Record(s.cfg.Self, trace.KindPromote, live.sid, string(u.cfg.Unit))
+	}
+}
+
+// demoteLocked revokes primaryship and hands the freshest context to the
+// new primary if it is a live migration (both servers up).
+func (s *Server) demoteLocked(u *unitState, live *liveSession, newPrimary ids.ProcessID) {
+	if live.resp != nil {
+		live.resp.deactivate()
+	}
+	live.app.Deactivate()
+	s.reg.Counter("demotions").Inc()
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Record(s.cfg.Self, trace.KindDemote, live.sid, string(u.cfg.Unit))
+	}
+	if newPrimary != ids.Nil && newPrimary != s.cfg.Self {
+		live.lastStamp++
+		var respSeq uint64
+		if live.resp != nil {
+			respSeq = live.resp.seqValue()
+		}
+		_ = s.proc.Send(ids.ProcessEndpoint(newPrimary), Handoff{
+			Unit: u.cfg.Unit, Session: live.sid,
+			Ctx: live.app.Snapshot(), Stamp: live.lastStamp, RespSeq: respSeq,
+		})
+		s.reg.Counter("handoffs_sent").Inc()
+	}
+	live.resp = nil
+}
+
+// dropLiveLocked removes this server's replica of a session and leaves its
+// group.
+func (s *Server) dropLiveLocked(u *unitState, live *liveSession) {
+	if live.resp != nil {
+		live.resp.deactivate()
+		live.resp = nil
+		if live.role == rolePrimary && s.cfg.Tracer != nil {
+			s.cfg.Tracer.Record(s.cfg.Self, trace.KindDemote, live.sid, string(u.cfg.Unit))
+		}
+	}
+	live.app.Close()
+	delete(u.live, live.sid)
+	group := SessionGroup(u.cfg.Unit, live.sid)
+	delete(s.sessions, group)
+	_ = s.proc.Leave(group)
+}
+
+// --- context propagation ---
+
+// propagationLoop drives each unit's periodic context propagation (paper
+// Section 3.1). It ticks at the finest unit period.
+func (s *Server) propagationLoop() {
+	defer close(s.done)
+	period := time.Duration(0)
+	s.mu.Lock()
+	for _, u := range s.units {
+		if period == 0 || u.cfg.PropagationPeriod < period {
+			period = u.cfg.PropagationPeriod
+		}
+	}
+	s.mu.Unlock()
+	if period == 0 {
+		period = 500 * time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	last := make(map[ids.UnitName]time.Time)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-ticker.C:
+			s.mu.Lock()
+			type outMsg struct {
+				g ids.GroupName
+				m wire.Message
+			}
+			var outs []outMsg
+			for name, u := range s.units {
+				if now.Sub(last[name]) < u.cfg.PropagationPeriod-period/2 {
+					continue
+				}
+				last[name] = now
+				if m := s.buildPropagationLocked(u, now); m != nil {
+					outs = append(outs, outMsg{ContentGroup(name), m})
+				}
+			}
+			s.mu.Unlock()
+			for _, o := range outs {
+				_ = s.proc.Multicast(o.g, o.m)
+			}
+		}
+	}
+}
+
+// buildPropagationLocked snapshots every session this server is primary
+// for, and garbage-collects idle sessions.
+func (s *Server) buildPropagationLocked(u *unitState, now time.Time) wire.Message {
+	var entries []CtxEntry
+	for _, live := range u.live {
+		if live.role != rolePrimary {
+			continue
+		}
+		if u.cfg.IdleTimeout > 0 && now.Sub(live.lastActivity) > u.cfg.IdleTimeout {
+			_ = s.proc.Multicast(ContentGroup(u.cfg.Unit), SessionClosed{Unit: u.cfg.Unit, Session: live.sid})
+			continue
+		}
+		live.lastStamp++
+		entries = append(entries, CtxEntry{
+			Session: live.sid,
+			Ctx:     live.app.Snapshot(),
+			Stamp:   live.lastStamp,
+		})
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Session < entries[j].Session })
+	s.reg.Counter("propagations_sent").Inc()
+	s.reg.Counter("propagation_entries_sent").Add(uint64(len(entries)))
+	return PropagateCtx{Unit: u.cfg.Unit, Entries: entries}
+}
+
+// --- responder ---
+
+// responder implements Responder for one (server, session) pair.
+type responder struct {
+	srv    *Server
+	unit   ids.UnitName
+	sid    ids.SessionID
+	client ids.ClientID
+
+	mu     sync.Mutex
+	active bool
+	seq    uint64
+}
+
+func newResponder(s *Server, unit ids.UnitName, sid ids.SessionID, client ids.ClientID, seq uint64) *responder {
+	return &responder{srv: s, unit: unit, sid: sid, client: client, active: true, seq: seq}
+}
+
+var _ Responder = (*responder)(nil)
+
+// Send implements Responder.
+func (r *responder) Send(body wire.Message) bool {
+	r.mu.Lock()
+	if !r.active {
+		r.mu.Unlock()
+		return false
+	}
+	r.seq++
+	seq := r.seq
+	r.mu.Unlock()
+	_ = r.srv.proc.Send(ids.ClientEndpoint(r.client), Response{Session: r.sid, Seq: seq, Body: body})
+	r.srv.reg.Counter("responses_sent").Inc()
+	return true
+}
+
+// Client implements Responder.
+func (r *responder) Client() ids.ClientID { return r.client }
+
+// Session implements Responder.
+func (r *responder) Session() ids.SessionID { return r.sid }
+
+func (r *responder) deactivate() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.active = false
+}
+
+func (r *responder) seqValue() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+func (r *responder) bumpSeq(seq uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if seq > r.seq {
+		r.seq = seq
+	}
+}
+
+// containsProc reports membership in a process slice.
+func containsProc(ps []ids.ProcessID, p ids.ProcessID) bool {
+	for _, q := range ps {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

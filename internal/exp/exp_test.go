@@ -1,0 +1,308 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{ID: "EX", Title: "demo", Claim: "c", Columns: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.AddNote("note %d", 7)
+	s := tb.String()
+	for _, want := range []string{"EX — demo", "claim: c", "a", "bb", "note: note 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("E1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown ID should error")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	rs := Experiments()
+	if len(rs) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(rs))
+	}
+	seen := map[string]bool{}
+	for _, r := range rs {
+		if seen[r.ID] {
+			t.Errorf("duplicate ID %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+// --- model experiments (fast, deterministic) ---
+
+func TestE2Shape(t *testing.T) {
+	tb := E2ReplicationSweep(42, 20)
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Analytic column strictly decreasing in R.
+	prev := 1.0
+	for _, row := range tb.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v >= prev {
+			t.Fatalf("analytic not decreasing: %v", row)
+		}
+		prev = v
+	}
+}
+
+func TestE3ModelShape(t *testing.T) {
+	tb := E3ModelLostUpdate(7, 20000)
+	if len(tb.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// For fixed T, the bound decreases as B increases.
+	get := func(b int, T string) float64 {
+		for _, row := range tb.Rows {
+			if row[0] == strconv.Itoa(b) && row[1] == T {
+				v, _ := strconv.ParseFloat(row[2], 64)
+				return v
+			}
+		}
+		t.Fatalf("row B=%d T=%s missing", b, T)
+		return 0
+	}
+	if !(get(0, "0.5s") > get(1, "0.5s") && get(1, "0.5s") > get(2, "0.5s")) {
+		t.Fatal("bound not decreasing in B")
+	}
+	if !(get(1, "0.1s") < get(1, "2.0s")) {
+		t.Fatal("bound not increasing in T")
+	}
+}
+
+func TestE4ModelShape(t *testing.T) {
+	tb := E4ModelDuplicates(11, 20000)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Mean duplicates increase with T.
+	prev := -1.0
+	for _, row := range tb.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= prev {
+			t.Fatalf("mean duplicates not increasing with T: %v", tb.Rows)
+		}
+		prev = v
+	}
+}
+
+func TestE6ModelShape(t *testing.T) {
+	tb := E6ModelLoad()
+	if len(tb.Rows) != 9 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	tb := E12AutoConfig(13, 100000)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Chosen B is non-decreasing as the target tightens.
+	prev := -1
+	for _, row := range tb.Rows {
+		b, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b < prev {
+			t.Fatalf("chosen B decreased as target tightened: %v", tb.Rows)
+		}
+		prev = b
+	}
+}
+
+// --- live experiments (quick smoke runs) ---
+
+func TestE1Live(t *testing.T) {
+	tb, err := E1SinglePrimary(2)
+	if err != nil {
+		t.Fatalf("E1: %v\n%s", err, tb)
+	}
+	for _, row := range tb.Rows {
+		if row[3] != "0" {
+			t.Fatalf("dual-primary violations in %v\n%s", row, tb)
+		}
+	}
+}
+
+func TestE3Live(t *testing.T) {
+	tb, err := E3LiveLostUpdate(2)
+	if err != nil {
+		t.Fatalf("E3 live: %v\n%s", err, tb)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Row 0: B=0 without propagation → all lost. Row 2: B=1 kill primary
+	// only → none lost.
+	if tb.Rows[0][4] != tb.Rows[0][3] {
+		t.Errorf("B=0 no-propagation should lose every update: %v", tb.Rows[0])
+	}
+	if tb.Rows[2][4] != "0" {
+		t.Errorf("B=1 kill-primary-only should lose nothing: %v", tb.Rows[2])
+	}
+}
+
+func TestE4Live(t *testing.T) {
+	tb, err := E4DuplicateWindow()
+	if err != nil {
+		t.Fatalf("E4: %v\n%s", err, tb)
+	}
+	for _, row := range tb.Rows {
+		dups, _ := strconv.Atoi(row[2])
+		bound, _ := strconv.ParseFloat(row[3], 64)
+		if float64(dups) > bound {
+			t.Errorf("duplicates %d exceed bound %v in row %v", dups, bound, row)
+		}
+		if row[4] != "0" {
+			t.Errorf("ResendUncertain must not lose frames: %v", row)
+		}
+	}
+}
+
+func TestE5Live(t *testing.T) {
+	tb, err := E5Takeover()
+	if err != nil {
+		t.Fatalf("E5: %v\n%s", err, tb)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Crash gap bounded by failure detection + agreement + slack.
+	crashGap, err := time.ParseDuration(tb.Rows[1][1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashGap > 2*time.Second {
+		t.Errorf("crash takeover gap %v implausibly large", crashGap)
+	}
+}
+
+func TestE6Live(t *testing.T) {
+	tb, err := E6LoadSweep(4, 25*time.Millisecond)
+	if err != nil {
+		t.Fatalf("E6: %v\n%s", err, tb)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Propagation entries/s fall as T grows (rows are grouped by T).
+	first, _ := strconv.ParseFloat(tb.Rows[0][4], 64)
+	last, _ := strconv.ParseFloat(tb.Rows[len(tb.Rows)-1][4], 64)
+	if first <= last {
+		t.Errorf("propagation work should fall with larger T: first=%v last=%v\n%s", first, last, tb)
+	}
+}
+
+func TestE7Live(t *testing.T) {
+	tb, err := E7DualPrimary()
+	if err != nil {
+		t.Fatalf("E7: %v\n%s", err, tb)
+	}
+	// Transitive: no dual windows. Non-transitive: some.
+	transDual, _ := strconv.Atoi(tb.Rows[0][2])
+	nonTransDual, _ := strconv.Atoi(tb.Rows[1][2])
+	if transDual != 0 {
+		t.Errorf("transitive partition produced dual-source windows: %v", tb.Rows[0])
+	}
+	if nonTransDual == 0 {
+		t.Errorf("non-transitive cut produced no dual-source windows\n%s", tb)
+	}
+}
+
+func TestE8Live(t *testing.T) {
+	tb, err := E8Migration()
+	if err != nil {
+		t.Fatalf("E8: %v\n%s", err, tb)
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[3] != "0" {
+		t.Errorf("updates lost at primary after migrations: %v\n%s", last, tb)
+	}
+}
+
+func TestE9Live(t *testing.T) {
+	tb, err := E9MPEGPolicy()
+	if err != nil {
+		t.Fatalf("E9: %v\n%s", err, tb)
+	}
+	get := func(name string, col int) int {
+		for _, row := range tb.Rows {
+			if row[0] == name {
+				v, err := strconv.Atoi(row[col])
+				if err != nil {
+					t.Fatalf("cell %s/%d: %v", name, col, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("row %s missing", name)
+		return 0
+	}
+	// The paper's tradeoff shape: Resend never loses; Drop trades
+	// duplicates for gaps; MPEG never loses an I frame.
+	if get("ResendUncertain", 4) != 0 {
+		t.Errorf("ResendUncertain lost frames\n%s", tb)
+	}
+	dropDups := get("DropUncertain", 1) + get("DropUncertain", 2)
+	resendDups := get("ResendUncertain", 1) + get("ResendUncertain", 2)
+	if dropDups > resendDups {
+		t.Errorf("DropUncertain should duplicate no more than ResendUncertain\n%s", tb)
+	}
+	if get("DropUncertain", 4) < get("ResendUncertain", 4) {
+		t.Errorf("DropUncertain should lose at least as much as ResendUncertain\n%s", tb)
+	}
+	if get("MPEGPolicy", 3) != 0 {
+		t.Errorf("MPEGPolicy lost an I frame\n%s", tb)
+	}
+	if get("DropUncertain", 3) != 0 {
+		t.Errorf("DropUncertain lost an I frame (structurally impossible: GOP jumps never skip boundaries)\n%s", tb)
+	}
+}
+
+func TestE10Live(t *testing.T) {
+	tb, err := E10RSM(3)
+	if err != nil {
+		t.Fatalf("E10: %v\n%s", err, tb)
+	}
+	for _, row := range tb.Rows {
+		if row[3] != "true" {
+			t.Errorf("inconsistent replicas: %v\n%s", row, tb)
+		}
+	}
+}
+
+func TestE11Live(t *testing.T) {
+	tb, err := E11VoDInstance()
+	if err != nil {
+		t.Fatalf("E11: %v\n%s", err, tb)
+	}
+	dups, _ := strconv.Atoi(tb.Rows[0][1])
+	if dups > 13 {
+		t.Errorf("duplicates %d exceed the half-second bound\n%s", dups, tb)
+	}
+	if tb.Rows[1][1] != "0" {
+		t.Errorf("frames lost in the VoD instance\n%s", tb)
+	}
+}

@@ -1,0 +1,83 @@
+// Package exp implements the experiment suite that reproduces the paper's
+// Section 4 analysis quantitatively. The paper prints no tables or
+// figures; DESIGN.md derives twelve experiments (E1–E12) from its claims,
+// and this package provides one runner per experiment, shared by the
+// cmd/haexp binary and the repository's benchmarks. EXPERIMENTS.md records
+// claim vs. measurement.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid plus free-form notes
+// (the paper claim being tested, and the verdict).
+type Table struct {
+	// ID is the experiment identifier (e.g. "E3").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Claim quotes or paraphrases the paper's statement under test.
+	Claim string
+	// Columns are the header labels.
+	Columns []string
+	// Rows are the data cells, one slice per row.
+	Rows [][]string
+	// Notes carry the verdict and caveats.
+	Notes []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends one note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,277 @@
+// Package faultinject drives scripted and randomized failures against an
+// in-memory network: timed crash/revive/partition/heal schedules for the
+// deterministic experiments, and an exponential crash/repair churn process
+// for the Monte-Carlo availability runs (Section 4 reasons about exactly
+// these failure patterns).
+package faultinject
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"hafw/internal/ids"
+	"hafw/internal/transport/memnet"
+)
+
+// Action is one fault operation against the network.
+type Action interface {
+	// Apply executes the operation.
+	Apply(net *memnet.Network)
+	// Describe names the operation for traces.
+	Describe() string
+}
+
+// Crash makes a process unreachable.
+type Crash struct {
+	// Target is the endpoint to crash.
+	Target ids.EndpointID
+}
+
+// Apply implements Action.
+func (a Crash) Apply(net *memnet.Network) { net.Crash(a.Target) }
+
+// Describe implements Action.
+func (a Crash) Describe() string { return "crash " + a.Target.String() }
+
+// Revive undoes a Crash.
+type Revive struct {
+	// Target is the endpoint to revive.
+	Target ids.EndpointID
+}
+
+// Apply implements Action.
+func (a Revive) Apply(net *memnet.Network) { net.Revive(a.Target) }
+
+// Describe implements Action.
+func (a Revive) Describe() string { return "revive " + a.Target.String() }
+
+// Partition splits endpoints into isolated sides.
+type Partition struct {
+	// Sides lists the mutually isolated groups.
+	Sides [][]ids.EndpointID
+}
+
+// Apply implements Action.
+func (a Partition) Apply(net *memnet.Network) { net.Partition(a.Sides...) }
+
+// Describe implements Action.
+func (a Partition) Describe() string { return "partition" }
+
+// Heal restores all cut links.
+type Heal struct{}
+
+// Apply implements Action.
+func (Heal) Apply(net *memnet.Network) { net.Heal() }
+
+// Describe implements Action.
+func (Heal) Describe() string { return "heal" }
+
+// CutLink severs or restores one undirected link — the building block of
+// non-transitive (WAN-like) connectivity.
+type CutLink struct {
+	// A and B are the link endpoints.
+	A, B ids.EndpointID
+	// Up restores the link instead of cutting it.
+	Up bool
+}
+
+// Apply implements Action.
+func (a CutLink) Apply(net *memnet.Network) { net.SetConnected(a.A, a.B, a.Up) }
+
+// Describe implements Action.
+func (a CutLink) Describe() string {
+	if a.Up {
+		return "restore " + a.A.String() + "—" + a.B.String()
+	}
+	return "cut " + a.A.String() + "—" + a.B.String()
+}
+
+// Step is one scheduled action.
+type Step struct {
+	// At is the offset from schedule start.
+	At time.Duration
+	// Action is what happens.
+	Action Action
+}
+
+// Schedule is a deterministic fault script.
+type Schedule struct {
+	steps []Step
+}
+
+// Add appends an action at the given offset.
+func (s *Schedule) Add(at time.Duration, a Action) *Schedule {
+	s.steps = append(s.steps, Step{At: at, Action: a})
+	return s
+}
+
+// CrashAt schedules a crash.
+func (s *Schedule) CrashAt(at time.Duration, target ids.EndpointID) *Schedule {
+	return s.Add(at, Crash{Target: target})
+}
+
+// ReviveAt schedules a revival.
+func (s *Schedule) ReviveAt(at time.Duration, target ids.EndpointID) *Schedule {
+	return s.Add(at, Revive{Target: target})
+}
+
+// PartitionAt schedules a partition.
+func (s *Schedule) PartitionAt(at time.Duration, sides ...[]ids.EndpointID) *Schedule {
+	return s.Add(at, Partition{Sides: sides})
+}
+
+// HealAt schedules a heal.
+func (s *Schedule) HealAt(at time.Duration) *Schedule {
+	return s.Add(at, Heal{})
+}
+
+// CutLinkAt schedules a single link cut.
+func (s *Schedule) CutLinkAt(at time.Duration, a, b ids.EndpointID) *Schedule {
+	return s.Add(at, CutLink{A: a, B: b})
+}
+
+// Steps returns the schedule sorted by offset.
+func (s *Schedule) Steps() []Step {
+	out := append([]Step(nil), s.steps...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Run plays the schedule against the network in real time. onStep, if
+// non-nil, observes each action as it fires. The returned handle waits for
+// completion or cancels early.
+func (s *Schedule) Run(net *memnet.Network, onStep func(Step)) *Run {
+	r := &Run{stop: make(chan struct{}), done: make(chan struct{})}
+	steps := s.Steps()
+	go func() {
+		defer close(r.done)
+		start := time.Now()
+		for _, st := range steps {
+			wait := st.At - time.Since(start)
+			if wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-r.stop:
+					return
+				}
+			}
+			st.Action.Apply(net)
+			if onStep != nil {
+				onStep(st)
+			}
+		}
+	}()
+	return r
+}
+
+// Run is a handle on an in-progress schedule or churn process.
+type Run struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// Wait blocks until the run finishes.
+func (r *Run) Wait() { <-r.done }
+
+// Stop cancels the run.
+func (r *Run) Stop() {
+	r.once.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// ChurnConfig parameterizes a random crash/repair process with
+// exponentially distributed time-to-failure and time-to-repair — the
+// standard availability model the risk analysis of Section 4 is computed
+// against.
+type ChurnConfig struct {
+	// Targets are the endpoints subject to churn.
+	Targets []ids.EndpointID
+	// MTTF is the mean time to failure of each up target.
+	MTTF time.Duration
+	// MTTR is the mean time to repair of each down target.
+	MTTR time.Duration
+	// Seed makes the process reproducible. Zero selects 1.
+	Seed int64
+	// MaxDown, if positive, caps how many targets are down at once.
+	MaxDown int
+	// OnCrash and OnRevive, if set, observe transitions.
+	OnCrash, OnRevive func(ids.EndpointID)
+}
+
+// Churn starts the random crash/repair process. Stop the returned run to
+// end it; all targets are revived on exit.
+func Churn(net *memnet.Network, cfg ChurnConfig) *Run {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	r := &Run{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		type state struct {
+			down bool
+			next time.Time
+		}
+		now := time.Now()
+		states := make(map[ids.EndpointID]*state, len(cfg.Targets))
+		for _, t := range cfg.Targets {
+			states[t] = &state{next: now.Add(expDur(rng, cfg.MTTF))}
+		}
+		ticker := time.NewTicker(time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-r.stop:
+				for _, t := range cfg.Targets {
+					net.Revive(t)
+				}
+				return
+			case now = <-ticker.C:
+			}
+			downCount := 0
+			for _, st := range states {
+				if st.down {
+					downCount++
+				}
+			}
+			for _, t := range cfg.Targets {
+				st := states[t]
+				if now.Before(st.next) {
+					continue
+				}
+				if st.down {
+					net.Revive(t)
+					if cfg.OnRevive != nil {
+						cfg.OnRevive(t)
+					}
+					st.down = false
+					downCount--
+					st.next = now.Add(expDur(rng, cfg.MTTF))
+				} else {
+					if cfg.MaxDown > 0 && downCount >= cfg.MaxDown {
+						continue
+					}
+					net.Crash(t)
+					if cfg.OnCrash != nil {
+						cfg.OnCrash(t)
+					}
+					st.down = true
+					downCount++
+					st.next = now.Add(expDur(rng, cfg.MTTR))
+				}
+			}
+		}
+	}()
+	return r
+}
+
+// expDur draws an exponentially distributed duration with the given mean.
+func expDur(rng *rand.Rand, mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	return time.Duration(rng.ExpFloat64() * float64(mean))
+}

@@ -1,0 +1,213 @@
+package faultinject
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hafw/internal/ids"
+	"hafw/internal/transport/memnet"
+)
+
+func eps(ps ...ids.ProcessID) []ids.EndpointID {
+	out := make([]ids.EndpointID, len(ps))
+	for i, p := range ps {
+		out[i] = ids.ProcessEndpoint(p)
+	}
+	return out
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	var s Schedule
+	s.HealAt(30 * time.Millisecond)
+	s.CrashAt(10*time.Millisecond, ids.ProcessEndpoint(1))
+	s.ReviveAt(20*time.Millisecond, ids.ProcessEndpoint(1))
+	steps := s.Steps()
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i].At < steps[i-1].At {
+			t.Fatal("steps not sorted")
+		}
+	}
+}
+
+func TestScheduleRunAppliesActions(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	p1 := ids.ProcessEndpoint(1)
+
+	var mu sync.Mutex
+	var fired []string
+	var s Schedule
+	s.CrashAt(5*time.Millisecond, p1)
+	s.ReviveAt(25*time.Millisecond, p1)
+	run := s.Run(net, func(st Step) {
+		mu.Lock()
+		defer mu.Unlock()
+		fired = append(fired, st.Action.Describe())
+	})
+
+	deadline := time.Now().Add(time.Second)
+	for !net.Crashed(p1) {
+		if time.Now().After(deadline) {
+			t.Fatal("crash never applied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	run.Wait()
+	if net.Crashed(p1) {
+		t.Fatal("revive not applied")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fired) != 2 || fired[0] != "crash p1" {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestScheduleStopCancels(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	var s Schedule
+	s.CrashAt(10*time.Second, ids.ProcessEndpoint(1)) // far future
+	run := s.Run(net, nil)
+	done := make(chan struct{})
+	go func() {
+		run.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Stop did not cancel promptly")
+	}
+	if net.Crashed(ids.ProcessEndpoint(1)) {
+		t.Fatal("cancelled action still applied")
+	}
+}
+
+func TestPartitionAndHealActions(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	a, b := ids.ProcessEndpoint(1), ids.ProcessEndpoint(2)
+	Partition{Sides: [][]ids.EndpointID{{a}, {b}}}.Apply(net)
+	if net.Connected(a, b) {
+		t.Fatal("partition not applied")
+	}
+	Heal{}.Apply(net)
+	if !net.Connected(a, b) {
+		t.Fatal("heal not applied")
+	}
+}
+
+func TestCutLinkDescribe(t *testing.T) {
+	a, b := ids.ProcessEndpoint(1), ids.ProcessEndpoint(2)
+	if (CutLink{A: a, B: b}).Describe() != "cut p1—p2" {
+		t.Error("cut describe")
+	}
+	if (CutLink{A: a, B: b, Up: true}).Describe() != "restore p1—p2" {
+		t.Error("restore describe")
+	}
+}
+
+func TestChurnCrashesAndRevives(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	targets := eps(1, 2, 3)
+
+	var mu sync.Mutex
+	crashes, revives := 0, 0
+	run := Churn(net, ChurnConfig{
+		Targets: targets,
+		MTTF:    5 * time.Millisecond,
+		MTTR:    5 * time.Millisecond,
+		Seed:    7,
+		OnCrash: func(ids.EndpointID) {
+			mu.Lock()
+			defer mu.Unlock()
+			crashes++
+		},
+		OnRevive: func(ids.EndpointID) {
+			mu.Lock()
+			defer mu.Unlock()
+			revives++
+		},
+	})
+	time.Sleep(200 * time.Millisecond)
+	run.Stop()
+
+	mu.Lock()
+	c, r := crashes, revives
+	mu.Unlock()
+	if c == 0 || r == 0 {
+		t.Fatalf("churn produced crashes=%d revives=%d, want both > 0", c, r)
+	}
+	// All targets revived after Stop.
+	for _, tgt := range targets {
+		if net.Crashed(tgt) {
+			t.Errorf("%v left crashed after Stop", tgt)
+		}
+	}
+}
+
+func TestChurnMaxDown(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	targets := eps(1, 2, 3, 4)
+
+	var mu sync.Mutex
+	down := 0
+	maxSeen := 0
+	run := Churn(net, ChurnConfig{
+		Targets: targets,
+		MTTF:    2 * time.Millisecond,
+		MTTR:    20 * time.Millisecond,
+		Seed:    11,
+		MaxDown: 2,
+		OnCrash: func(ids.EndpointID) {
+			mu.Lock()
+			defer mu.Unlock()
+			down++
+			if down > maxSeen {
+				maxSeen = down
+			}
+		},
+		OnRevive: func(ids.EndpointID) {
+			mu.Lock()
+			defer mu.Unlock()
+			down--
+		},
+	})
+	time.Sleep(300 * time.Millisecond)
+	run.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if maxSeen > 2 {
+		t.Fatalf("MaxDown violated: %d simultaneous", maxSeen)
+	}
+	if maxSeen == 0 {
+		t.Fatal("churn never crashed anything")
+	}
+}
+
+func TestExpDurMean(t *testing.T) {
+	// Rough sanity: sample mean within 3x of configured mean.
+	rng := newTestRand()
+	var sum time.Duration
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum += expDur(rng, 10*time.Millisecond)
+	}
+	mean := sum / n
+	if mean < 3*time.Millisecond || mean > 30*time.Millisecond {
+		t.Fatalf("sample mean %v far from 10ms", mean)
+	}
+	if expDur(rng, 0) != 0 {
+		t.Error("zero mean must yield zero")
+	}
+}
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(42)) }

@@ -1,0 +1,258 @@
+// Package fd implements a heartbeat failure detector. Each process
+// periodically sends heartbeats to the peers it monitors and considers a
+// peer reachable while messages (heartbeats or any other protocol traffic,
+// reported via Observe) keep arriving within a timeout.
+//
+// The detector is unreliable in the classical sense — it can suspect live
+// processes during instability — but in stable periods it is eventually
+// accurate and complete, which is exactly the assumption the paper's GCS
+// makes ("while the network is fairly stable ... failures can be
+// consistently detected, agreement can be reached").
+package fd
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"hafw/internal/ids"
+	"hafw/internal/wire"
+)
+
+// Heartbeat is the liveness probe message.
+type Heartbeat struct{}
+
+// WireName implements wire.Message.
+func (Heartbeat) WireName() string { return "fd.Heartbeat" }
+
+func init() { wire.Register(Heartbeat{}) }
+
+// Sender is the outbound half of a transport, as seen by the detector.
+type Sender interface {
+	Send(to ids.EndpointID, m wire.Message) error
+}
+
+// Config parameterizes a Detector.
+type Config struct {
+	// Self is the local process identity. Self is always reachable.
+	Self ids.ProcessID
+	// Interval is the heartbeat period. Zero means 20ms (LAN-ish scale for
+	// tests and experiments).
+	Interval time.Duration
+	// Timeout is how long a silent peer stays reachable. Zero means
+	// 5×Interval.
+	Timeout time.Duration
+	// Send transmits heartbeats.
+	Send Sender
+	// OnChange, if set, is called (from the detector's goroutine, never
+	// concurrently with itself) whenever the reachable set changes. The
+	// slice is sorted and includes Self.
+	OnChange func(reachable []ids.ProcessID)
+}
+
+// Detector monitors a dynamic peer set. All methods are safe for
+// concurrent use.
+type Detector struct {
+	cfg Config
+
+	mu        sync.Mutex
+	peers     map[ids.ProcessID]bool
+	lastHeard map[ids.ProcessID]time.Time
+	reachable map[ids.ProcessID]bool
+	started   bool
+	stopped   bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New creates a detector. Call Start to begin probing.
+func New(cfg Config) *Detector {
+	if cfg.Interval == 0 {
+		cfg.Interval = 20 * time.Millisecond
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 5 * cfg.Interval
+	}
+	return &Detector{
+		cfg:       cfg,
+		peers:     make(map[ids.ProcessID]bool),
+		lastHeard: make(map[ids.ProcessID]time.Time),
+		reachable: map[ids.ProcessID]bool{cfg.Self: true},
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Start launches the probe loop. Starting twice panics (a programming
+// error, as is starting after Stop).
+func (d *Detector) Start() {
+	d.mu.Lock()
+	if d.started || d.stopped {
+		d.mu.Unlock()
+		panic("fd: Start called twice or after Stop")
+	}
+	d.started = true
+	d.mu.Unlock()
+	go d.loop()
+}
+
+// Stop terminates the probe loop and waits for it to exit. Stop is
+// idempotent.
+func (d *Detector) Stop() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	started := d.started
+	d.mu.Unlock()
+	close(d.stop)
+	if started {
+		<-d.done
+	}
+}
+
+// SetPeers replaces the monitored peer set (Self is implicit and ignored
+// if listed). Newly added peers start with a fresh liveness grace period;
+// removed peers disappear from the reachable set.
+func (d *Detector) SetPeers(ps []ids.ProcessID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	next := make(map[ids.ProcessID]bool, len(ps))
+	now := time.Now()
+	for _, p := range ps {
+		if p == d.cfg.Self {
+			continue
+		}
+		next[p] = true
+		if !d.peers[p] {
+			// Grace period: treat a newly monitored peer as just heard so
+			// it is not instantly suspected.
+			d.lastHeard[p] = now
+		}
+	}
+	for p := range d.peers {
+		if !next[p] {
+			delete(d.lastHeard, p)
+			delete(d.reachable, p)
+		}
+	}
+	d.peers = next
+}
+
+// AddPeer adds one peer to the monitored set.
+func (d *Detector) AddPeer(p ids.ProcessID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if p == d.cfg.Self || d.peers[p] {
+		return
+	}
+	d.peers[p] = true
+	d.lastHeard[p] = time.Now()
+}
+
+// Peers returns the currently monitored peers, sorted.
+func (d *Detector) Peers() []ids.ProcessID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]ids.ProcessID, 0, len(d.peers))
+	for p := range d.peers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Observe records that a message (of any protocol) was heard from p. Every
+// inbound envelope from a process should be funneled here so that busy
+// links never false-suspect.
+func (d *Detector) Observe(p ids.ProcessID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.peers[p] {
+		d.lastHeard[p] = time.Now()
+	}
+}
+
+// Reachable returns the current reachable set, sorted, including Self.
+func (d *Detector) Reachable() []ids.ProcessID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reachableLocked()
+}
+
+func (d *Detector) reachableLocked() []ids.ProcessID {
+	out := make([]ids.ProcessID, 0, len(d.reachable))
+	for p := range d.reachable {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsReachable reports whether p is currently considered reachable.
+func (d *Detector) IsReachable(p ids.ProcessID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reachable[p]
+}
+
+func (d *Detector) loop() {
+	defer close(d.done)
+	ticker := time.NewTicker(d.cfg.Interval)
+	defer ticker.Stop()
+	d.tick() // probe immediately so peers learn of us fast
+	for {
+		select {
+		case <-ticker.C:
+			d.tick()
+		case <-d.stop:
+			return
+		}
+	}
+}
+
+// tick sends heartbeats and recomputes the reachable set, firing OnChange
+// if it moved.
+func (d *Detector) tick() {
+	d.mu.Lock()
+	peers := make([]ids.ProcessID, 0, len(d.peers))
+	for p := range d.peers {
+		peers = append(peers, p)
+	}
+	d.mu.Unlock()
+
+	for _, p := range peers {
+		_ = d.cfg.Send.Send(ids.ProcessEndpoint(p), Heartbeat{})
+	}
+
+	now := time.Now()
+	d.mu.Lock()
+	next := map[ids.ProcessID]bool{d.cfg.Self: true}
+	for p := range d.peers {
+		if now.Sub(d.lastHeard[p]) < d.cfg.Timeout {
+			next[p] = true
+		}
+	}
+	changed := len(next) != len(d.reachable)
+	if !changed {
+		for p := range next {
+			if !d.reachable[p] {
+				changed = true
+				break
+			}
+		}
+	}
+	d.reachable = next
+	var snapshot []ids.ProcessID
+	if changed && d.cfg.OnChange != nil {
+		snapshot = d.reachableLocked()
+	}
+	d.mu.Unlock()
+
+	if snapshot != nil {
+		d.cfg.OnChange(snapshot)
+	}
+}

@@ -1,0 +1,259 @@
+package fd
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"hafw/internal/ids"
+	"hafw/internal/transport/memnet"
+	"hafw/internal/wire"
+)
+
+// node wires a detector to a memnet endpoint and funnels inbound traffic
+// into Observe, the way a real process mux does.
+type node struct {
+	id  ids.ProcessID
+	det *Detector
+
+	mu      sync.Mutex
+	changes [][]ids.ProcessID
+}
+
+func newNode(t *testing.T, n *memnet.Network, id ids.ProcessID, peers []ids.ProcessID) *node {
+	t.Helper()
+	ep, err := n.Attach(ids.ProcessEndpoint(id))
+	if err != nil {
+		t.Fatalf("attach %v: %v", id, err)
+	}
+	nd := &node{id: id}
+	nd.det = New(Config{
+		Self:     id,
+		Interval: 10 * time.Millisecond,
+		Timeout:  50 * time.Millisecond,
+		Send:     ep,
+		OnChange: func(r []ids.ProcessID) {
+			nd.mu.Lock()
+			defer nd.mu.Unlock()
+			nd.changes = append(nd.changes, r)
+		},
+	})
+	ep.SetHandler(func(env wire.Envelope) {
+		if p, ok := env.From.Process(); ok {
+			nd.det.Observe(p)
+		}
+	})
+	nd.det.SetPeers(peers)
+	nd.det.Start()
+	t.Cleanup(nd.det.Stop)
+	return nd
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: %s", msg)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestAllReachableWhenStable(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	all := []ids.ProcessID{1, 2, 3}
+	var nodes []*node
+	for _, id := range all {
+		nodes = append(nodes, newNode(t, net, id, all))
+	}
+	want := []ids.ProcessID{1, 2, 3}
+	for _, nd := range nodes {
+		nd := nd
+		waitFor(t, time.Second, func() bool {
+			return reflect.DeepEqual(nd.det.Reachable(), want)
+		}, "full reachability")
+	}
+}
+
+func TestCrashSuspected(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	all := []ids.ProcessID{1, 2, 3}
+	n1 := newNode(t, net, 1, all)
+	newNode(t, net, 2, all)
+	newNode(t, net, 3, all)
+
+	waitFor(t, time.Second, func() bool {
+		return len(n1.det.Reachable()) == 3
+	}, "initial reachability")
+
+	net.Crash(ids.ProcessEndpoint(3))
+	waitFor(t, time.Second, func() bool {
+		r := n1.det.Reachable()
+		return reflect.DeepEqual(r, []ids.ProcessID{1, 2})
+	}, "p3 suspected after crash")
+	if n1.det.IsReachable(3) {
+		t.Error("IsReachable(3) should be false")
+	}
+}
+
+func TestRecoveryDetected(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	all := []ids.ProcessID{1, 2}
+	n1 := newNode(t, net, 1, all)
+	newNode(t, net, 2, all)
+
+	waitFor(t, time.Second, func() bool { return len(n1.det.Reachable()) == 2 }, "initial")
+	net.Crash(ids.ProcessEndpoint(2))
+	waitFor(t, time.Second, func() bool { return len(n1.det.Reachable()) == 1 }, "suspect")
+	net.Revive(ids.ProcessEndpoint(2))
+	waitFor(t, time.Second, func() bool { return len(n1.det.Reachable()) == 2 }, "recovery")
+}
+
+func TestPartitionSymmetricSuspicion(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	all := []ids.ProcessID{1, 2, 3, 4}
+	var nodes []*node
+	for _, id := range all {
+		nodes = append(nodes, newNode(t, net, id, all))
+	}
+	for _, nd := range nodes {
+		nd := nd
+		waitFor(t, time.Second, func() bool { return len(nd.det.Reachable()) == 4 }, "initial")
+	}
+
+	net.Partition(
+		[]ids.EndpointID{ids.ProcessEndpoint(1), ids.ProcessEndpoint(2)},
+		[]ids.EndpointID{ids.ProcessEndpoint(3), ids.ProcessEndpoint(4)},
+	)
+	waitFor(t, time.Second, func() bool {
+		return reflect.DeepEqual(nodes[0].det.Reachable(), []ids.ProcessID{1, 2}) &&
+			reflect.DeepEqual(nodes[2].det.Reachable(), []ids.ProcessID{3, 4})
+	}, "both sides converge to their component")
+}
+
+func TestObserveSuppressesFalseSuspicion(t *testing.T) {
+	// Even if heartbeats from p2 were lost, Observe calls (i.e. other
+	// protocol traffic) must keep p2 reachable at p1.
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	ep, err := net.Attach(ids.ProcessEndpoint(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := New(Config{Self: 1, Interval: 10 * time.Millisecond, Timeout: 40 * time.Millisecond, Send: ep})
+	det.SetPeers([]ids.ProcessID{2})
+	det.Start()
+	defer det.Stop()
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		ticker := time.NewTicker(5 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				det.Observe(2)
+			case <-stop:
+				return
+			}
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	if !det.IsReachable(2) {
+		t.Error("p2 should stay reachable while Observe keeps firing")
+	}
+}
+
+func TestSetPeersRemoval(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	all := []ids.ProcessID{1, 2, 3}
+	n1 := newNode(t, net, 1, all)
+	newNode(t, net, 2, all)
+	newNode(t, net, 3, all)
+	waitFor(t, time.Second, func() bool { return len(n1.det.Reachable()) == 3 }, "initial")
+
+	n1.det.SetPeers([]ids.ProcessID{2})
+	waitFor(t, time.Second, func() bool {
+		return reflect.DeepEqual(n1.det.Reachable(), []ids.ProcessID{1, 2})
+	}, "p3 dropped from monitoring")
+	if got := n1.det.Peers(); !reflect.DeepEqual(got, []ids.ProcessID{2}) {
+		t.Errorf("Peers() = %v, want [2]", got)
+	}
+}
+
+func TestAddPeer(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	n1 := newNode(t, net, 1, nil)
+	newNode(t, net, 2, []ids.ProcessID{1, 2})
+
+	if len(n1.det.Reachable()) != 1 {
+		t.Fatal("initially only self reachable")
+	}
+	n1.det.AddPeer(2)
+	waitFor(t, time.Second, func() bool { return n1.det.IsReachable(2) }, "p2 reachable after AddPeer")
+}
+
+func TestSelfAlwaysReachable(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	n1 := newNode(t, net, 1, []ids.ProcessID{1})
+	if !n1.det.IsReachable(1) {
+		t.Error("self must always be reachable")
+	}
+	if got := n1.det.Peers(); len(got) != 0 {
+		t.Errorf("self must not be monitored as a peer, got %v", got)
+	}
+}
+
+func TestOnChangeFires(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	all := []ids.ProcessID{1, 2}
+	n1 := newNode(t, net, 1, all)
+	newNode(t, net, 2, all)
+
+	waitFor(t, time.Second, func() bool {
+		n1.mu.Lock()
+		defer n1.mu.Unlock()
+		return len(n1.changes) >= 1
+	}, "OnChange fired for p2 joining reachable set")
+	n1.mu.Lock()
+	last := n1.changes[len(n1.changes)-1]
+	n1.mu.Unlock()
+	if !reflect.DeepEqual(last, []ids.ProcessID{1, 2}) {
+		t.Errorf("last change = %v, want [1 2]", last)
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	ep, err := net.Attach(ids.ProcessEndpoint(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := New(Config{Self: 1, Send: ep})
+	det.Start()
+	det.Stop()
+	det.Stop() // must not panic or hang
+}
+
+func TestStopWithoutStart(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	ep, err := net.Attach(ids.ProcessEndpoint(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := New(Config{Self: 1, Send: ep})
+	det.Stop() // must not hang waiting for a loop that never ran
+}

@@ -1,0 +1,202 @@
+package gcs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hafw/internal/ids"
+	"hafw/internal/transport"
+	"hafw/internal/vsync"
+	"hafw/internal/wire"
+)
+
+// ErrNoServers is returned when a client cannot resolve any member for a
+// group from any bootstrap server.
+var ErrNoServers = errors.New("gcs: no reachable servers for group")
+
+// ClientConfig parameterizes a Client.
+type ClientConfig struct {
+	// Self is the client identity.
+	Self ids.ClientID
+	// Transport is the client's network endpoint.
+	Transport transport.Transport
+	// Servers is the a-priori known service group: processes the client
+	// may ask to resolve group membership (paper: "all clients have a
+	// priori knowledge of this group's name").
+	Servers []ids.ProcessID
+	// OnMessage receives point-to-point messages (server responses).
+	OnMessage func(from ids.EndpointID, m wire.Message)
+	// ResolveTimeout bounds one resolution round-trip. Zero means 150ms.
+	ResolveTimeout time.Duration
+	// CacheTTL is how long a resolved membership is trusted before being
+	// refreshed. Zero means 250ms.
+	CacheTTL time.Duration
+}
+
+// Client is the client-side GCS endpoint: it addresses groups abstractly
+// and never tracks server membership itself — exactly the transparency the
+// framework promises clients.
+type Client struct {
+	cfg ClientConfig
+	tr  transport.Transport
+
+	mu      sync.Mutex
+	nextSeq uint64
+	cache   map[ids.GroupName]cachedMembers
+	waiters map[ids.GroupName][]chan []ids.ProcessID
+	servers []ids.ProcessID
+	closed  bool
+}
+
+type cachedMembers struct {
+	members []ids.ProcessID
+	at      time.Time
+}
+
+// NewClient creates a client endpoint over the given transport.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Self == 0 {
+		return nil, errors.New("gcs: ClientConfig.Self is required")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("gcs: ClientConfig.Transport is required")
+	}
+	if cfg.ResolveTimeout == 0 {
+		cfg.ResolveTimeout = 150 * time.Millisecond
+	}
+	if cfg.CacheTTL == 0 {
+		cfg.CacheTTL = 250 * time.Millisecond
+	}
+	c := &Client{
+		cfg:     cfg,
+		tr:      cfg.Transport,
+		cache:   make(map[ids.GroupName]cachedMembers),
+		waiters: make(map[ids.GroupName][]chan []ids.ProcessID),
+		servers: append([]ids.ProcessID(nil), cfg.Servers...),
+	}
+	c.tr.SetHandler(c.route)
+	return c, nil
+}
+
+// Close shuts the client down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.tr.Close()
+}
+
+// Self returns the client identity.
+func (c *Client) Self() ids.ClientID { return c.cfg.Self }
+
+// Endpoint returns the client's endpoint identifier.
+func (c *Client) Endpoint() ids.EndpointID { return ids.ClientEndpoint(c.cfg.Self) }
+
+func (c *Client) route(env wire.Envelope) {
+	switch m := env.Payload.(type) {
+	case vsync.ResolveReply:
+		c.mu.Lock()
+		c.cache[m.Group] = cachedMembers{members: m.Members, at: time.Now()}
+		ws := c.waiters[m.Group]
+		delete(c.waiters, m.Group)
+		c.mu.Unlock()
+		for _, w := range ws {
+			w <- m.Members
+		}
+	default:
+		if c.cfg.OnMessage != nil {
+			c.cfg.OnMessage(env.From, env.Payload)
+		}
+	}
+}
+
+// Resolve returns the current membership of g, asking bootstrap servers if
+// the cache is stale. An empty membership with nil error means the group
+// currently has no members.
+func (c *Client) Resolve(g ids.GroupName) ([]ids.ProcessID, error) {
+	c.mu.Lock()
+	if e, ok := c.cache[g]; ok && time.Since(e.at) < c.cfg.CacheTTL {
+		m := e.members
+		c.mu.Unlock()
+		return m, nil
+	}
+	servers := append([]ids.ProcessID(nil), c.servers...)
+	c.mu.Unlock()
+	if len(servers) == 0 {
+		return nil, ErrNoServers
+	}
+
+	for _, s := range servers {
+		ch := make(chan []ids.ProcessID, 1)
+		c.mu.Lock()
+		c.waiters[g] = append(c.waiters[g], ch)
+		c.mu.Unlock()
+		_ = c.tr.Send(ids.ProcessEndpoint(s), vsync.Resolve{Group: g})
+		select {
+		case members := <-ch:
+			return members, nil
+		case <-time.After(c.cfg.ResolveTimeout):
+			c.dropWaiter(g, ch)
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNoServers, g)
+}
+
+func (c *Client) dropWaiter(g ids.GroupName, ch chan []ids.ProcessID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := c.waiters[g]
+	for i, w := range ws {
+		if w == ch {
+			c.waiters[g] = append(ws[:i], ws[i+1:]...)
+			return
+		}
+	}
+}
+
+// Invalidate drops the cached membership for g, forcing the next Resolve
+// to ask a server.
+func (c *Client) Invalidate(g ids.GroupName) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.cache, g)
+}
+
+// SendToGroup performs an open-group send: the message enters g's total
+// order exactly once even though it is fanned out to every member the
+// client can resolve (the coordinator deduplicates by message ID). The
+// client never needs to know which member is the primary.
+func (c *Client) SendToGroup(g ids.GroupName, m wire.Message) error {
+	members, err := c.Resolve(g)
+	if err != nil {
+		return err
+	}
+	if len(members) == 0 {
+		return fmt.Errorf("%w: %s (empty membership)", ErrNoServers, g)
+	}
+	c.mu.Lock()
+	c.nextSeq++
+	id := ids.MsgID{Sender: c.Endpoint(), Seq: c.nextSeq}
+	c.mu.Unlock()
+
+	cs := vsync.ClientSend{Group: g, ID: id, Payload: m}
+	for _, s := range members {
+		_ = c.tr.Send(ids.ProcessEndpoint(s), cs)
+	}
+	return nil
+}
+
+// Send transmits a point-to-point message to one endpoint (for example a
+// start-of-session handshake addressed to a specific server).
+func (c *Client) Send(to ids.EndpointID, m wire.Message) error {
+	return c.tr.Send(to, m)
+}
+
+// SetServers replaces the bootstrap server list.
+func (c *Client) SetServers(servers []ids.ProcessID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.servers = append([]ids.ProcessID(nil), servers...)
+}

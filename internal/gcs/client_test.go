@@ -1,0 +1,153 @@
+package gcs
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"hafw/internal/ids"
+	"hafw/internal/transport/memnet"
+)
+
+func TestClientValidation(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	ep, err := net.Attach(ids.ClientEndpoint(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClient(ClientConfig{Transport: ep}); err == nil {
+		t.Fatal("NewClient without Self should fail")
+	}
+	if _, err := NewClient(ClientConfig{Self: 1}); err == nil {
+		t.Fatal("NewClient without Transport should fail")
+	}
+}
+
+func TestResolveNoServers(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	ep, err := net.Attach(ids.ClientEndpoint(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(ClientConfig{Self: 1, Transport: ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Resolve("g"); !errors.Is(err, ErrNoServers) {
+		t.Fatalf("err = %v, want ErrNoServers", err)
+	}
+	if err := c.SendToGroup("g", testMsg{}); !errors.Is(err, ErrNoServers) {
+		t.Fatalf("SendToGroup err = %v", err)
+	}
+}
+
+func TestResolveUnreachableServersTimesOut(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	defer net.Close()
+	ep, err := net.Attach(ids.ClientEndpoint(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(ClientConfig{
+		Self: 1, Transport: ep,
+		Servers:        []ids.ProcessID{7, 8}, // nobody home
+		ResolveTimeout: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Resolve("g")
+	if !errors.Is(err, ErrNoServers) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("gave up too fast (%v): must try each server", elapsed)
+	}
+}
+
+func TestResolveCacheAndInvalidate(t *testing.T) {
+	h := newHarness(t, 2)
+	h.waitConverged(1, 2)
+	if err := h.proc[1].Join(grpA); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 20*time.Second, func() bool {
+		return len(h.proc[2].GroupMembers(grpA)) == 1
+	}, "directory propagation")
+
+	cep, err := h.net.Attach(ids.ClientEndpoint(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(ClientConfig{Self: 300, Transport: cep, Servers: h.pids, CacheTTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	m1, err := c.Resolve(grpA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Membership changes, but the (long-TTL) cache hides it.
+	if err := h.proc[2].Join(grpA); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 20*time.Second, func() bool {
+		return len(h.proc[1].GroupMembers(grpA)) == 2
+	}, "join lands")
+	m2, err := c.Resolve(grpA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatalf("cache should have answered: %v vs %v", m1, m2)
+	}
+	// Invalidate forces a fresh answer.
+	c.Invalidate(grpA)
+	m3, err := c.Resolve(grpA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m3) != 2 {
+		t.Fatalf("fresh resolve = %v, want 2 members", m3)
+	}
+}
+
+func TestSetServers(t *testing.T) {
+	h := newHarness(t, 2)
+	h.waitConverged(1, 2)
+	if err := h.proc[2].Join(grpA); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 20*time.Second, func() bool {
+		return len(h.proc[2].GroupMembers(grpA)) == 1
+	}, "group formed")
+
+	cep, err := h.net.Attach(ids.ClientEndpoint(301))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(ClientConfig{
+		Self: 301, Transport: cep,
+		Servers:        []ids.ProcessID{99}, // bogus bootstrap
+		ResolveTimeout: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	if _, err := c.Resolve(grpA); err == nil {
+		t.Fatal("bogus bootstrap should fail")
+	}
+	c.SetServers(h.pids)
+	if _, err := c.Resolve(grpA); err != nil {
+		t.Fatalf("after SetServers: %v", err)
+	}
+}

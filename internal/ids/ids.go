@@ -1,0 +1,182 @@
+// Package ids defines the identifier types shared by every layer of the
+// stack: processes, groups, sessions, clients, views, and messages.
+//
+// Identifiers are small comparable value types so they can key maps and be
+// sent on the wire without indirection. All identifier kinds have a total
+// order, which higher layers rely on for deterministic tie-breaking (for
+// example, coordinator election picks the least ProcessID in a view).
+package ids
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ProcessID identifies one server process (one GCS endpoint). ProcessIDs
+// are assigned by the deployment (or test harness) and must be unique and
+// stable for the lifetime of the process incarnation.
+type ProcessID uint64
+
+// Nil is the zero ProcessID; it never names a real process.
+const Nil ProcessID = 0
+
+// String implements fmt.Stringer.
+func (p ProcessID) String() string {
+	if p == Nil {
+		return "p·nil"
+	}
+	return "p" + strconv.FormatUint(uint64(p), 10)
+}
+
+// Less reports whether p orders before q. The order is total and is the
+// basis of every deterministic tie-break in the stack.
+func (p ProcessID) Less(q ProcessID) bool { return p < q }
+
+// ClientID identifies a client endpoint. Clients are not group members;
+// they interact with groups through open-group sends.
+type ClientID uint64
+
+// String implements fmt.Stringer.
+func (c ClientID) String() string { return "c" + strconv.FormatUint(uint64(c), 10) }
+
+// GroupName names a multicast group. Group names are chosen
+// deterministically by the framework (service group, per-unit content
+// groups, per-session session groups) so that every member computes the
+// same name without coordination.
+type GroupName string
+
+// String implements fmt.Stringer.
+func (g GroupName) String() string { return string(g) }
+
+// SessionID identifies one client session within a content unit. It is
+// allocated by the content group when the start-session request is
+// delivered in total order, so all members agree on it.
+type SessionID uint64
+
+// String implements fmt.Stringer.
+func (s SessionID) String() string { return "s" + strconv.FormatUint(uint64(s), 10) }
+
+// UnitName names a content unit (for example one movie in a VoD service,
+// one topic in a distance-education service).
+type UnitName string
+
+// String implements fmt.Stringer.
+func (u UnitName) String() string { return string(u) }
+
+// ViewID identifies a membership view. Views form a lattice: IDs are
+// ordered lexicographically by (Epoch, Coord), and every installed view has
+// an ID strictly greater than the view it replaces at each member.
+type ViewID struct {
+	// Epoch is a Lamport-style counter that increases with every view
+	// change attempt anywhere in the system.
+	Epoch uint64
+	// Coord is the process that proposed the view; it breaks Epoch ties.
+	Coord ProcessID
+}
+
+// Less reports whether v orders before w, lexicographically by
+// (Epoch, Coord).
+func (v ViewID) Less(w ViewID) bool {
+	if v.Epoch != w.Epoch {
+		return v.Epoch < w.Epoch
+	}
+	return v.Coord < w.Coord
+}
+
+// After reports whether v is strictly greater than w.
+func (v ViewID) After(w ViewID) bool { return w.Less(v) }
+
+// IsZero reports whether v is the zero ViewID (no view installed yet).
+func (v ViewID) IsZero() bool { return v.Epoch == 0 && v.Coord == Nil }
+
+// String implements fmt.Stringer.
+func (v ViewID) String() string { return fmt.Sprintf("v%d.%s", v.Epoch, v.Coord) }
+
+// MsgID uniquely identifies one multicast message across the whole system:
+// the sending endpoint plus a sender-local sequence number. Endpoints never
+// reuse sequence numbers, so MsgIDs are globally unique and delivery can be
+// deduplicated on them.
+type MsgID struct {
+	// Sender is the originating endpoint. For server-originated multicasts
+	// this is the server's ProcessID; client-originated open-group sends
+	// use the client's EndpointID instead (see Endpoint).
+	Sender EndpointID
+	// Seq is the sender-local sequence number, starting at 1.
+	Seq uint64
+}
+
+// String implements fmt.Stringer.
+func (m MsgID) String() string { return fmt.Sprintf("%s#%d", m.Sender, m.Seq) }
+
+// EndpointKind distinguishes server processes from clients in endpoint
+// identifiers.
+type EndpointKind uint8
+
+// Endpoint kinds.
+const (
+	// KindProcess marks a server process endpoint.
+	KindProcess EndpointKind = iota + 1
+	// KindClient marks a client endpoint.
+	KindClient
+)
+
+// EndpointID identifies any message source or destination: a server
+// process or a client. It is comparable and totally ordered (processes
+// order before clients; within a kind, by ID).
+type EndpointID struct {
+	// Kind says whether ID is a ProcessID or a ClientID value.
+	Kind EndpointKind
+	// ID is the numeric identifier within the kind.
+	ID uint64
+}
+
+// ProcessEndpoint wraps a ProcessID as an EndpointID.
+func ProcessEndpoint(p ProcessID) EndpointID {
+	return EndpointID{Kind: KindProcess, ID: uint64(p)}
+}
+
+// ClientEndpoint wraps a ClientID as an EndpointID.
+func ClientEndpoint(c ClientID) EndpointID {
+	return EndpointID{Kind: KindClient, ID: uint64(c)}
+}
+
+// Process returns the ProcessID held by e, or (Nil, false) if e is not a
+// process endpoint.
+func (e EndpointID) Process() (ProcessID, bool) {
+	if e.Kind != KindProcess {
+		return Nil, false
+	}
+	return ProcessID(e.ID), true
+}
+
+// Client returns the ClientID held by e, or (0, false) if e is not a
+// client endpoint.
+func (e EndpointID) Client() (ClientID, bool) {
+	if e.Kind != KindClient {
+		return 0, false
+	}
+	return ClientID(e.ID), true
+}
+
+// IsZero reports whether e is the zero EndpointID.
+func (e EndpointID) IsZero() bool { return e.Kind == 0 && e.ID == 0 }
+
+// Less reports whether e orders before f: by kind, then by numeric ID.
+func (e EndpointID) Less(f EndpointID) bool {
+	if e.Kind != f.Kind {
+		return e.Kind < f.Kind
+	}
+	return e.ID < f.ID
+}
+
+// String implements fmt.Stringer.
+func (e EndpointID) String() string {
+	switch e.Kind {
+	case KindProcess:
+		return ProcessID(e.ID).String()
+	case KindClient:
+		return ClientID(e.ID).String()
+	default:
+		return fmt.Sprintf("e?%d", e.ID)
+	}
+}

@@ -1,0 +1,192 @@
+package ids
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcessIDString(t *testing.T) {
+	tests := []struct {
+		p    ProcessID
+		want string
+	}{
+		{Nil, "p·nil"},
+		{1, "p1"},
+		{42, "p42"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("ProcessID(%d).String() = %q, want %q", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestProcessIDLess(t *testing.T) {
+	if !ProcessID(1).Less(2) {
+		t.Error("1 should be less than 2")
+	}
+	if ProcessID(2).Less(1) {
+		t.Error("2 should not be less than 1")
+	}
+	if ProcessID(3).Less(3) {
+		t.Error("Less must be irreflexive")
+	}
+}
+
+func TestViewIDOrder(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b ViewID
+		less bool
+	}{
+		{"epoch dominates", ViewID{1, 9}, ViewID{2, 1}, true},
+		{"coord breaks ties", ViewID{3, 1}, ViewID{3, 2}, true},
+		{"equal not less", ViewID{3, 2}, ViewID{3, 2}, false},
+		{"greater epoch", ViewID{4, 1}, ViewID{3, 9}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Less(tt.b); got != tt.less {
+				t.Errorf("%v.Less(%v) = %v, want %v", tt.a, tt.b, got, tt.less)
+			}
+		})
+	}
+}
+
+func TestViewIDAfter(t *testing.T) {
+	a, b := ViewID{2, 1}, ViewID{1, 5}
+	if !a.After(b) {
+		t.Errorf("%v should be after %v", a, b)
+	}
+	if b.After(a) {
+		t.Errorf("%v should not be after %v", b, a)
+	}
+	if a.After(a) {
+		t.Error("After must be irreflexive")
+	}
+}
+
+func TestViewIDIsZero(t *testing.T) {
+	if !(ViewID{}).IsZero() {
+		t.Error("zero ViewID should report IsZero")
+	}
+	if (ViewID{1, 0}).IsZero() || (ViewID{0, 1}).IsZero() {
+		t.Error("non-zero ViewIDs must not report IsZero")
+	}
+}
+
+// TestViewIDTotalOrder checks by property that ViewID ordering is a strict
+// total order: trichotomy and transitivity over random triples.
+func TestViewIDTotalOrder(t *testing.T) {
+	trichotomy := func(aE, bE uint64, aC, bC uint8) bool {
+		a := ViewID{Epoch: aE % 8, Coord: ProcessID(aC % 4)}
+		b := ViewID{Epoch: bE % 8, Coord: ProcessID(bC % 4)}
+		n := 0
+		if a.Less(b) {
+			n++
+		}
+		if b.Less(a) {
+			n++
+		}
+		if a == b {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(trichotomy, nil); err != nil {
+		t.Errorf("trichotomy violated: %v", err)
+	}
+	transitive := func(es [3]uint64, cs [3]uint8) bool {
+		vs := make([]ViewID, 3)
+		for i := range vs {
+			vs[i] = ViewID{Epoch: es[i] % 8, Coord: ProcessID(cs[i] % 4)}
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i].Less(vs[j]) })
+		return !vs[1].Less(vs[0]) && !vs[2].Less(vs[1])
+	}
+	if err := quick.Check(transitive, nil); err != nil {
+		t.Errorf("transitivity violated: %v", err)
+	}
+}
+
+func TestEndpointRoundTrip(t *testing.T) {
+	pe := ProcessEndpoint(7)
+	if p, ok := pe.Process(); !ok || p != 7 {
+		t.Errorf("Process() = (%v, %v), want (7, true)", p, ok)
+	}
+	if _, ok := pe.Client(); ok {
+		t.Error("process endpoint must not decode as client")
+	}
+
+	ce := ClientEndpoint(9)
+	if c, ok := ce.Client(); !ok || c != 9 {
+		t.Errorf("Client() = (%v, %v), want (9, true)", c, ok)
+	}
+	if _, ok := ce.Process(); ok {
+		t.Error("client endpoint must not decode as process")
+	}
+}
+
+func TestEndpointOrder(t *testing.T) {
+	p1, p2 := ProcessEndpoint(1), ProcessEndpoint(2)
+	c1 := ClientEndpoint(1)
+	if !p1.Less(p2) {
+		t.Error("p1 < p2 expected")
+	}
+	if !p2.Less(c1) {
+		t.Error("processes must order before clients")
+	}
+	if c1.Less(p1) {
+		t.Error("clients must not order before processes")
+	}
+}
+
+func TestEndpointIsZero(t *testing.T) {
+	var z EndpointID
+	if !z.IsZero() {
+		t.Error("zero EndpointID should report IsZero")
+	}
+	if ProcessEndpoint(1).IsZero() {
+		t.Error("non-zero endpoint must not report IsZero")
+	}
+}
+
+func TestEndpointString(t *testing.T) {
+	tests := []struct {
+		e    EndpointID
+		want string
+	}{
+		{ProcessEndpoint(3), "p3"},
+		{ClientEndpoint(5), "c5"},
+		{EndpointID{Kind: 0, ID: 8}, "e?8"},
+	}
+	for _, tt := range tests {
+		if got := tt.e.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestMsgIDString(t *testing.T) {
+	m := MsgID{Sender: ProcessEndpoint(2), Seq: 17}
+	if got := m.String(); got != "p2#17" {
+		t.Errorf("MsgID.String() = %q, want %q", got, "p2#17")
+	}
+}
+
+func TestMsgIDComparable(t *testing.T) {
+	a := MsgID{Sender: ProcessEndpoint(1), Seq: 1}
+	b := MsgID{Sender: ProcessEndpoint(1), Seq: 1}
+	c := MsgID{Sender: ClientEndpoint(1), Seq: 1}
+	if a != b {
+		t.Error("identical MsgIDs must compare equal")
+	}
+	if a == c {
+		t.Error("different senders must not compare equal")
+	}
+	set := map[MsgID]bool{a: true}
+	if !set[b] {
+		t.Error("MsgID must be usable as a map key")
+	}
+}

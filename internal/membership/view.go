@@ -1,0 +1,92 @@
+package membership
+
+import (
+	"fmt"
+	"sort"
+
+	"hafw/internal/ids"
+)
+
+// View is one installed membership view: an identifier plus the sorted set
+// of member processes. Views at a single process are installed in strictly
+// increasing ID order; concurrent partitions install views with
+// incomparable member sets but globally comparable IDs.
+type View struct {
+	// ID identifies the view; see ids.ViewID for the ordering.
+	ID ids.ViewID
+	// Members is the sorted member set. It always contains the local
+	// process at the process that installed the view.
+	Members []ids.ProcessID
+}
+
+// NewView builds a view with a defensively copied, sorted, deduplicated
+// member set.
+func NewView(id ids.ViewID, members []ids.ProcessID) View {
+	ms := normalizeMembers(members)
+	return View{ID: id, Members: ms}
+}
+
+func normalizeMembers(members []ids.ProcessID) []ids.ProcessID {
+	ms := make([]ids.ProcessID, 0, len(members))
+	seen := make(map[ids.ProcessID]bool, len(members))
+	for _, m := range members {
+		if m == ids.Nil || seen[m] {
+			continue
+		}
+		seen[m] = true
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	return ms
+}
+
+// Contains reports whether p is a member of v.
+func (v View) Contains(p ids.ProcessID) bool {
+	i := sort.Search(len(v.Members), func(i int) bool { return v.Members[i] >= p })
+	return i < len(v.Members) && v.Members[i] == p
+}
+
+// Coordinator returns the least member, which every protocol layer treats
+// as the view's coordinator, or ids.Nil for an empty view.
+func (v View) Coordinator() ids.ProcessID {
+	if len(v.Members) == 0 {
+		return ids.Nil
+	}
+	return v.Members[0]
+}
+
+// SameMembers reports whether v and w have identical member sets
+// (regardless of ID).
+func (v View) SameMembers(w View) bool {
+	if len(v.Members) != len(w.Members) {
+		return false
+	}
+	for i := range v.Members {
+		if v.Members[i] != w.Members[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the sorted processes present in both v's members and
+// the given set. Virtual synchrony obligations hold exactly for these
+// "survivors" of a view change.
+func (v View) Intersect(other []ids.ProcessID) []ids.ProcessID {
+	in := make(map[ids.ProcessID]bool, len(other))
+	for _, p := range other {
+		in[p] = true
+	}
+	var out []ids.ProcessID
+	for _, m := range v.Members {
+		if in[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (v View) String() string {
+	return fmt.Sprintf("View(%s %v)", v.ID, v.Members)
+}

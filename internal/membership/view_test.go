@@ -1,0 +1,95 @@
+package membership
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hafw/internal/ids"
+)
+
+func TestNewViewNormalizes(t *testing.T) {
+	v := NewView(ids.ViewID{Epoch: 1, Coord: 1}, []ids.ProcessID{3, 1, 2, 1, ids.Nil})
+	want := []ids.ProcessID{1, 2, 3}
+	if !reflect.DeepEqual(v.Members, want) {
+		t.Errorf("Members = %v, want %v", v.Members, want)
+	}
+}
+
+func TestViewContains(t *testing.T) {
+	v := NewView(ids.ViewID{Epoch: 1, Coord: 1}, []ids.ProcessID{2, 4, 6})
+	for _, p := range []ids.ProcessID{2, 4, 6} {
+		if !v.Contains(p) {
+			t.Errorf("Contains(%v) = false, want true", p)
+		}
+	}
+	for _, p := range []ids.ProcessID{1, 3, 5, 7} {
+		if v.Contains(p) {
+			t.Errorf("Contains(%v) = true, want false", p)
+		}
+	}
+}
+
+func TestViewCoordinator(t *testing.T) {
+	v := NewView(ids.ViewID{Epoch: 1, Coord: 9}, []ids.ProcessID{5, 3, 8})
+	if got := v.Coordinator(); got != 3 {
+		t.Errorf("Coordinator() = %v, want 3", got)
+	}
+	empty := NewView(ids.ViewID{}, nil)
+	if got := empty.Coordinator(); got != ids.Nil {
+		t.Errorf("empty Coordinator() = %v, want Nil", got)
+	}
+}
+
+func TestViewSameMembers(t *testing.T) {
+	a := NewView(ids.ViewID{Epoch: 1, Coord: 1}, []ids.ProcessID{1, 2})
+	b := NewView(ids.ViewID{Epoch: 9, Coord: 2}, []ids.ProcessID{2, 1})
+	c := NewView(ids.ViewID{Epoch: 1, Coord: 1}, []ids.ProcessID{1, 2, 3})
+	if !a.SameMembers(b) {
+		t.Error("a and b should have the same members")
+	}
+	if a.SameMembers(c) {
+		t.Error("a and c should differ")
+	}
+}
+
+func TestViewIntersect(t *testing.T) {
+	v := NewView(ids.ViewID{Epoch: 1, Coord: 1}, []ids.ProcessID{1, 2, 3, 4})
+	got := v.Intersect([]ids.ProcessID{2, 4, 9})
+	if !reflect.DeepEqual(got, []ids.ProcessID{2, 4}) {
+		t.Errorf("Intersect = %v, want [2 4]", got)
+	}
+	if got := v.Intersect(nil); got != nil {
+		t.Errorf("Intersect(nil) = %v, want nil", got)
+	}
+}
+
+// TestNormalizeProperty checks that normalization is idempotent, sorted,
+// and duplicate-free for arbitrary inputs.
+func TestNormalizeProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		in := make([]ids.ProcessID, len(raw))
+		for i, r := range raw {
+			in[i] = ids.ProcessID(r % 16)
+		}
+		out := normalizeMembers(in)
+		for i := 1; i < len(out); i++ {
+			if out[i-1] >= out[i] {
+				return false // must be strictly increasing
+			}
+		}
+		// Idempotent.
+		again := normalizeMembers(out)
+		return reflect.DeepEqual(out, again)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortProcesses(t *testing.T) {
+	got := SortProcesses([]ids.ProcessID{3, 1, 2})
+	if !reflect.DeepEqual(got, []ids.ProcessID{1, 2, 3}) {
+		t.Errorf("SortProcesses = %v", got)
+	}
+}

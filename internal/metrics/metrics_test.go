@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("Value = %d, want 8000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("Value = %d, want 7", g.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	h.Observe(time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	if h.Count() != 2 {
+		t.Errorf("Count = %d, want 2", h.Count())
+	}
+	if h.Mean() != 2*time.Millisecond {
+		t.Errorf("Mean = %v, want 2ms", h.Mean())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 3*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if q := h.Quantile(0.99); q < time.Millisecond {
+		t.Errorf("Quantile(0.99) = %v, want >= 1ms", q)
+	}
+}
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("same name must return same counter")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("same name must return same gauge")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("same name must return same histogram")
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(5)
+	before := r.Counters()
+	r.Counter("x").Add(3)
+	r.Counter("y").Inc()
+	diff := r.Counters().Diff(before)
+	if diff["x"] != 3 || diff["y"] != 1 {
+		t.Errorf("diff = %v", diff)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Add(2)
+	s := r.Counters().String()
+	if !strings.Contains(s, "a=2") || !strings.Contains(s, "b=1") {
+		t.Errorf("String = %q", s)
+	}
+	if strings.Index(s, "a=") > strings.Index(s, "b=") {
+		t.Errorf("String must sort names: %q", s)
+	}
+}

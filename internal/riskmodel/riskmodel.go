@@ -1,0 +1,310 @@
+// Package riskmodel quantifies the fault-tolerance analysis of Section 4:
+// the probabilities of the failure patterns that defeat each availability
+// goal, as functions of the framework's configurable parameters — the
+// replication degree R, the number of backups B, and the context
+// propagation period T.
+//
+// The paper argues these relationships qualitatively; this package makes
+// them measurable twice over: closed-form steady-state formulas under the
+// standard exponential failure/repair model, and discrete-event Monte-
+// Carlo simulations in virtual time that the experiments compare against
+// the closed forms and against the live stack.
+package riskmodel
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Params describes one configuration point of the availability model. All
+// times are in seconds (virtual time; the model has no wall clock).
+type Params struct {
+	// MTTF is each server's mean time to failure.
+	MTTF float64
+	// MTTR is each server's mean time to repair.
+	MTTR float64
+	// R is the content replication degree (content-group size).
+	R int
+	// B is the number of backup servers per session (session-group size is
+	// B+1).
+	B int
+	// T is the context propagation period.
+	T float64
+	// UpdateRate is the client's context-update rate (updates/second).
+	UpdateRate float64
+	// ResponseRate is the primary's response rate (responses/second), used
+	// by the duplicate-window model.
+	ResponseRate float64
+}
+
+// --- closed forms ---
+
+// ServerUnavailability returns q = MTTR/(MTTF+MTTR), the steady-state
+// probability that one server is down.
+func ServerUnavailability(mttf, mttr float64) float64 {
+	if mttf <= 0 && mttr <= 0 {
+		return 0
+	}
+	return mttr / (mttf + mttr)
+}
+
+// PTotalLoss returns q^R: the steady-state probability that every replica
+// of a content unit is down simultaneously — the paper's second risk
+// scenario ("every server which can provide this content may have either
+// crashed or disconnected"; "the probability of this scenario can be
+// reduced by increasing the degree of replication").
+func PTotalLoss(q float64, r int) float64 {
+	if r <= 0 {
+		return 1
+	}
+	return math.Pow(q, float64(r))
+}
+
+// PLostUpdate returns (1-e^(-T/MTTF))^(B+1): the probability that every
+// member of a session group fails within one propagation period, losing a
+// client context update forever — the paper's central tradeoff ("this
+// probability decreases as either the propagation frequency or the size of
+// the session group rise").
+func PLostUpdate(mttf, t float64, b int) float64 {
+	if mttf <= 0 {
+		return 1
+	}
+	pOne := 1 - math.Exp(-t/mttf)
+	return math.Pow(pOne, float64(b+1))
+}
+
+// MinBackupsFor inverts PLostUpdate: the smallest B whose loss probability
+// is at or below target — the automation the paper sketches in Section 5
+// ("the user might express a desired service quality in terms of a chance
+// of losing a context update, and the system could then adjust the needed
+// number of backups"). Returns -1 if no B ≤ maxB suffices.
+func MinBackupsFor(target, mttf, t float64, maxB int) int {
+	for b := 0; b <= maxB; b++ {
+		if PLostUpdate(mttf, t, b) <= target {
+			return b
+		}
+	}
+	return -1
+}
+
+// ExpectedDuplicates returns ResponseRate×T/2: the mean number of
+// responses a taking-over server resends because it cannot know what the
+// dead primary sent after the last propagation (the crash lands uniformly
+// within a propagation period). The VoD instance's "half a second of
+// duplicate video frames" is the T=0.5s worst case; the mean window is
+// T/2.
+func ExpectedDuplicates(p Params) float64 {
+	return p.ResponseRate * p.T / 2
+}
+
+// Load is the per-server cost model of the configuration (paper Section 4:
+// "increasing either of these factors places more work on each server").
+type Load struct {
+	// PropagationMsgsPerSec is how many propagation messages each
+	// content-group member processes per second.
+	PropagationMsgsPerSec float64
+	// BackupUpdatesPerSec is how many client updates each server receives
+	// in its role as a session-group member, per second.
+	BackupUpdatesPerSec float64
+}
+
+// LoadPerServer computes the cost model for `sessions` sessions spread
+// over R servers: every member processes every primary's propagation
+// (sessions/T entries per second arriving at each member), and each server
+// participates in sessions×(B+1)/R session groups, receiving that share of
+// client updates.
+func LoadPerServer(p Params, sessions int) Load {
+	if p.R <= 0 || p.T <= 0 {
+		return Load{}
+	}
+	s := float64(sessions)
+	return Load{
+		PropagationMsgsPerSec: s / p.T,
+		BackupUpdatesPerSec:   s * float64(p.B+1) / float64(p.R) * p.UpdateRate,
+	}
+}
+
+// --- Monte-Carlo (virtual time, event driven, seeded) ---
+
+// TotalLossResult reports a total-loss simulation.
+type TotalLossResult struct {
+	// FracAllDown is the measured fraction of time all R replicas were
+	// down simultaneously.
+	FracAllDown float64
+	// Analytic is the closed form q^R for comparison.
+	Analytic float64
+	// LossEpisodes counts distinct all-down episodes.
+	LossEpisodes int
+}
+
+// SimulateTotalLoss runs R independent exponential failure/repair
+// processes for `duration` seconds of virtual time and measures how long
+// all R were simultaneously down.
+func SimulateTotalLoss(p Params, seed int64, duration float64) TotalLossResult {
+	rng := rand.New(rand.NewSource(seed))
+	type ev struct {
+		at   float64
+		down bool
+	}
+	var events []ev
+	for i := 0; i < p.R; i++ {
+		t := 0.0
+		up := true
+		for t < duration {
+			var d float64
+			if up {
+				d = rng.ExpFloat64() * p.MTTF
+			} else {
+				d = rng.ExpFloat64() * p.MTTR
+			}
+			t += d
+			if t >= duration {
+				break
+			}
+			events = append(events, ev{at: t, down: up})
+			up = !up
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+
+	down := 0
+	last := 0.0
+	allDownTime := 0.0
+	episodes := 0
+	for _, e := range events {
+		if down == p.R {
+			allDownTime += e.at - last
+		}
+		last = e.at
+		if e.down {
+			down++
+			if down == p.R {
+				episodes++
+			}
+		} else {
+			down--
+		}
+	}
+	if down == p.R {
+		allDownTime += duration - last
+	}
+	q := ServerUnavailability(p.MTTF, p.MTTR)
+	return TotalLossResult{
+		FracAllDown:  allDownTime / duration,
+		Analytic:     PTotalLoss(q, p.R),
+		LossEpisodes: episodes,
+	}
+}
+
+// LostUpdateResult reports a lost-update simulation.
+type LostUpdateResult struct {
+	// Updates is the number of simulated client updates.
+	Updates int
+	// Lost is how many were lost (every session-group member failed before
+	// the next propagation).
+	Lost int
+	// PLost is the measured loss probability.
+	PLost float64
+	// AnalyticBound is the closed-form worst-case bound (window = T).
+	AnalyticBound float64
+}
+
+// SimulateLostUpdates plays `n` independent client updates: each arrives
+// uniformly within a propagation period, and is lost if all B+1 session
+// group members draw failure times inside the remaining window (the
+// memoryless property makes each update an independent trial). The
+// measured probability sits below the closed-form bound, which assumes the
+// full window T.
+func SimulateLostUpdates(p Params, seed int64, n int) LostUpdateResult {
+	rng := rand.New(rand.NewSource(seed))
+	lost := 0
+	for i := 0; i < n; i++ {
+		window := rng.Float64() * p.T // time until the next propagation
+		all := true
+		for m := 0; m <= p.B; m++ {
+			failAt := rng.ExpFloat64() * p.MTTF
+			if failAt >= window {
+				all = false
+				break
+			}
+		}
+		if all {
+			lost++
+		}
+	}
+	return LostUpdateResult{
+		Updates:       n,
+		Lost:          lost,
+		PLost:         float64(lost) / float64(n),
+		AnalyticBound: PLostUpdate(p.MTTF, p.T, p.B),
+	}
+}
+
+// DuplicateResult reports a duplicate-window simulation.
+type DuplicateResult struct {
+	// Failovers is the number of simulated primary crashes.
+	Failovers int
+	// MeanDuplicates is the mean number of re-sent responses per failover.
+	MeanDuplicates float64
+	// MaxDuplicates is the largest observed duplicate burst.
+	MaxDuplicates int
+	// Analytic is the closed-form mean ResponseRate×T/2.
+	Analytic float64
+}
+
+// SimulateDuplicates crashes a primary at a uniformly random point within
+// a propagation period `n` times and counts the responses sent since the
+// last propagation — the uncertainty the new primary must resend (or
+// drop; the application chooses, per the paper's MPEG discussion).
+func SimulateDuplicates(p Params, seed int64, n int) DuplicateResult {
+	rng := rand.New(rand.NewSource(seed))
+	total := 0
+	max := 0
+	for i := 0; i < n; i++ {
+		sinceProp := rng.Float64() * p.T
+		// Responses are periodic at ResponseRate; count those in the
+		// uncertainty window.
+		dups := int(sinceProp * p.ResponseRate)
+		total += dups
+		if dups > max {
+			max = dups
+		}
+	}
+	return DuplicateResult{
+		Failovers:      n,
+		MeanDuplicates: float64(total) / float64(n),
+		MaxDuplicates:  max,
+		Analytic:       ExpectedDuplicates(p),
+	}
+}
+
+// AutoConfigResult reports the closed-loop configuration experiment.
+type AutoConfigResult struct {
+	// B is the chosen backup count.
+	B int
+	// Predicted is the closed-form loss probability at B.
+	Predicted float64
+	// Measured is the Monte-Carlo loss probability at B.
+	Measured float64
+	// Target is the requested bound.
+	Target float64
+}
+
+// AutoConfigure picks the minimal B for a target loss probability and
+// validates the choice by simulation (Section 5's proposed automation).
+func AutoConfigure(target float64, p Params, seed int64, trials int) AutoConfigResult {
+	b := MinBackupsFor(target, p.MTTF, p.T, 16)
+	if b < 0 {
+		b = 16
+	}
+	q := p
+	q.B = b
+	sim := SimulateLostUpdates(q, seed, trials)
+	return AutoConfigResult{
+		B:         b,
+		Predicted: PLostUpdate(p.MTTF, p.T, b),
+		Measured:  sim.PLost,
+		Target:    target,
+	}
+}

@@ -1,0 +1,193 @@
+package riskmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestServerUnavailability(t *testing.T) {
+	if got := ServerUnavailability(90, 10); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("q = %v, want 0.1", got)
+	}
+	if got := ServerUnavailability(0, 0); got != 0 {
+		t.Errorf("degenerate q = %v, want 0", got)
+	}
+}
+
+func TestPTotalLossDecreasesWithR(t *testing.T) {
+	q := 0.2
+	prev := 1.0
+	for r := 1; r <= 6; r++ {
+		p := PTotalLoss(q, r)
+		if p >= prev {
+			t.Fatalf("PTotalLoss not decreasing at R=%d: %v >= %v", r, p, prev)
+		}
+		prev = p
+	}
+	if PTotalLoss(q, 0) != 1 {
+		t.Error("R=0 must be certain loss")
+	}
+	if got := PTotalLoss(0.5, 3); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("PTotalLoss(0.5,3) = %v, want 0.125", got)
+	}
+}
+
+func TestPLostUpdateMonotonicity(t *testing.T) {
+	// Decreasing in B.
+	prev := 1.0
+	for b := 0; b <= 4; b++ {
+		p := PLostUpdate(100, 1, b)
+		if p >= prev {
+			t.Fatalf("PLostUpdate not decreasing in B at %d", b)
+		}
+		prev = p
+	}
+	// Increasing in T.
+	prev = 0
+	for _, T := range []float64{0.1, 0.5, 1, 2, 5} {
+		p := PLostUpdate(100, T, 1)
+		if p <= prev {
+			t.Fatalf("PLostUpdate not increasing in T at %v", T)
+		}
+		prev = p
+	}
+	if PLostUpdate(0, 1, 1) != 1 {
+		t.Error("MTTF=0 must be certain loss")
+	}
+}
+
+func TestMinBackupsForInverse(t *testing.T) {
+	mttf, T := 50.0, 1.0
+	for _, target := range []float64{1e-2, 1e-4, 1e-6} {
+		b := MinBackupsFor(target, mttf, T, 16)
+		if b < 0 {
+			t.Fatalf("no B found for target %v", target)
+		}
+		if PLostUpdate(mttf, T, b) > target {
+			t.Errorf("B=%d does not meet target %v", b, target)
+		}
+		if b > 0 && PLostUpdate(mttf, T, b-1) <= target {
+			t.Errorf("B=%d not minimal for target %v", b, target)
+		}
+	}
+	if got := MinBackupsFor(1e-30, 1.0, 100.0, 2); got != -1 {
+		t.Errorf("unreachable target should return -1, got %d", got)
+	}
+}
+
+func TestLoadPerServer(t *testing.T) {
+	p := Params{R: 4, B: 1, T: 0.5, UpdateRate: 2}
+	l := LoadPerServer(p, 100)
+	if math.Abs(l.PropagationMsgsPerSec-200) > 1e-9 {
+		t.Errorf("propagation load = %v, want 200", l.PropagationMsgsPerSec)
+	}
+	// 100 sessions × 2 members / 4 servers × 2 upd/s = 100 upd/s.
+	if math.Abs(l.BackupUpdatesPerSec-100) > 1e-9 {
+		t.Errorf("backup load = %v, want 100", l.BackupUpdatesPerSec)
+	}
+	if (LoadPerServer(Params{}, 10) != Load{}) {
+		t.Error("degenerate params must yield zero load")
+	}
+}
+
+func TestLoadTradeoffShape(t *testing.T) {
+	// Halving T doubles propagation work; adding backups adds update work.
+	base := LoadPerServer(Params{R: 3, B: 0, T: 1, UpdateRate: 1}, 60)
+	fast := LoadPerServer(Params{R: 3, B: 0, T: 0.5, UpdateRate: 1}, 60)
+	if fast.PropagationMsgsPerSec != 2*base.PropagationMsgsPerSec {
+		t.Error("propagation cost must scale with 1/T")
+	}
+	b2 := LoadPerServer(Params{R: 3, B: 2, T: 1, UpdateRate: 1}, 60)
+	if b2.BackupUpdatesPerSec != 3*base.BackupUpdatesPerSec {
+		t.Error("backup cost must scale with B+1")
+	}
+}
+
+func TestSimulateTotalLossMatchesAnalytic(t *testing.T) {
+	p := Params{MTTF: 10, MTTR: 5, R: 2}
+	res := SimulateTotalLoss(p, 42, 2e5)
+	if res.Analytic <= 0 {
+		t.Fatal("analytic should be positive")
+	}
+	ratio := res.FracAllDown / res.Analytic
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("measured %v vs analytic %v (ratio %v) out of tolerance",
+			res.FracAllDown, res.Analytic, ratio)
+	}
+	if res.LossEpisodes == 0 {
+		t.Error("expected some loss episodes at these rates")
+	}
+}
+
+func TestSimulateTotalLossDecreasesWithR(t *testing.T) {
+	prev := 1.0
+	for r := 1; r <= 3; r++ {
+		res := SimulateTotalLoss(Params{MTTF: 10, MTTR: 5, R: r}, 7, 1e5)
+		if res.FracAllDown >= prev {
+			t.Fatalf("measured total loss not decreasing at R=%d", r)
+		}
+		prev = res.FracAllDown
+	}
+}
+
+func TestSimulateLostUpdatesBelowBound(t *testing.T) {
+	p := Params{MTTF: 5, T: 2, B: 1}
+	res := SimulateLostUpdates(p, 99, 200000)
+	if res.PLost <= 0 {
+		t.Fatal("expected some losses at these rates")
+	}
+	if res.PLost > res.AnalyticBound {
+		t.Errorf("measured %v exceeds the worst-case bound %v", res.PLost, res.AnalyticBound)
+	}
+}
+
+func TestSimulateLostUpdatesMonotoneInB(t *testing.T) {
+	prev := 1.0
+	for b := 0; b <= 2; b++ {
+		res := SimulateLostUpdates(Params{MTTF: 5, T: 2, B: b}, 3, 100000)
+		if res.PLost >= prev {
+			t.Fatalf("loss not decreasing in B at %d: %v >= %v", b, res.PLost, prev)
+		}
+		prev = res.PLost
+	}
+}
+
+func TestSimulateDuplicates(t *testing.T) {
+	p := Params{T: 0.5, ResponseRate: 24} // the VoD instance: 24fps, T=0.5s
+	res := SimulateDuplicates(p, 5, 100000)
+	// Mean should approximate 24×0.5/2 = 6 frames.
+	if math.Abs(res.MeanDuplicates-res.Analytic) > 0.5 {
+		t.Errorf("mean duplicates %v vs analytic %v", res.MeanDuplicates, res.Analytic)
+	}
+	// Worst case bounded by one full period of frames.
+	if res.MaxDuplicates > int(p.ResponseRate*p.T)+1 {
+		t.Errorf("max duplicates %d exceeds one period", res.MaxDuplicates)
+	}
+}
+
+func TestAutoConfigure(t *testing.T) {
+	p := Params{MTTF: 5, T: 1}
+	res := AutoConfigure(1e-3, p, 11, 300000)
+	if res.Predicted > res.Target {
+		t.Errorf("predicted %v exceeds target %v", res.Predicted, res.Target)
+	}
+	// Measured should respect the target too (it sits below the bound).
+	if res.Measured > res.Target*1.5 {
+		t.Errorf("measured %v far above target %v", res.Measured, res.Target)
+	}
+}
+
+// TestPLostUpdateProbabilityRange: outputs are valid probabilities for all
+// inputs.
+func TestPLostUpdateProbabilityRange(t *testing.T) {
+	f := func(mttfRaw, tRaw uint16, b uint8) bool {
+		mttf := float64(mttfRaw%1000) / 10
+		T := float64(tRaw%100) / 10
+		p := PLostUpdate(mttf, T, int(b%8))
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+package search
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"hafw/internal/core"
+	"hafw/internal/ids"
+	"hafw/internal/wire"
+)
+
+type fakeResponder struct {
+	mu     sync.Mutex
+	bodies []ResultSet
+}
+
+func (r *fakeResponder) Send(body wire.Message) bool {
+	rs, ok := body.(ResultSet)
+	if !ok {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.bodies = append(r.bodies, rs)
+	return true
+}
+func (r *fakeResponder) Client() ids.ClientID   { return 1 }
+func (r *fakeResponder) Session() ids.SessionID { return 1 }
+func (r *fakeResponder) last() ResultSet {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.bodies) == 0 {
+		return ResultSet{Err: "no responses"}
+	}
+	return r.bodies[len(r.bodies)-1]
+}
+
+func newSearch(t *testing.T) (*Corpus, *session, *fakeResponder) {
+	t.Helper()
+	corpus := GenerateCorpus("papers", 200)
+	s := New(corpus).NewSession("papers", 1, 1).(*session)
+	r := &fakeResponder{}
+	s.Activate(r)
+	return corpus, s, r
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := GenerateCorpus("c", 50)
+	b := GenerateCorpus("c", 50)
+	if a.Len() != b.Len() {
+		t.Fatal("sizes differ")
+	}
+	for i := 0; i < a.Len(); i++ {
+		da, _ := a.Doc(i)
+		db, _ := b.Doc(i)
+		if da.Year != db.Year || !reflect.DeepEqual(da.Words, db.Words) {
+			t.Fatalf("doc %d differs", i)
+		}
+	}
+}
+
+func TestLookupMatchesDocs(t *testing.T) {
+	c := GenerateCorpus("c", 100)
+	for _, w := range []string{"replication", "group"} {
+		hits := c.Lookup(w)
+		if len(hits) == 0 {
+			t.Fatalf("no hits for common word %q", w)
+		}
+		for _, id := range hits {
+			doc, ok := c.Doc(id)
+			if !ok {
+				t.Fatalf("bad doc id %d", id)
+			}
+			found := false
+			for _, dw := range doc.Words {
+				if dw == w {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("doc %d indexed for %q but does not contain it", id, w)
+			}
+		}
+	}
+}
+
+func TestQueryWholeCorpus(t *testing.T) {
+	corpus, s, r := newSearch(t)
+	s.ApplyUpdate(Query{Word: "replication"})
+	res := r.last()
+	if res.Err != "" || res.Index != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if !reflect.DeepEqual(res.DocIDs, corpus.Lookup("replication")) {
+		t.Fatal("query results differ from index lookup")
+	}
+}
+
+func TestRefinementNarrows(t *testing.T) {
+	_, s, r := newSearch(t)
+	s.ApplyUpdate(Query{Word: "replication"})
+	first := r.last()
+	s.ApplyUpdate(Query{AfterYear: 1995, Base: 1})
+	second := r.last()
+	if second.Err != "" || second.Index != 2 {
+		t.Fatalf("refinement = %+v", second)
+	}
+	if len(second.DocIDs) >= len(first.DocIDs) {
+		t.Fatalf("refinement did not narrow: %d -> %d", len(first.DocIDs), len(second.DocIDs))
+	}
+	// Refined results are a subset of the base.
+	base := map[int]bool{}
+	for _, id := range first.DocIDs {
+		base[id] = true
+	}
+	for _, id := range second.DocIDs {
+		if !base[id] {
+			t.Fatalf("doc %d escaped the base set", id)
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	_, s, r := newSearch(t)
+	s.ApplyUpdate(Query{Word: "replication"})
+	s.ApplyUpdate(Query{Word: "group"})
+	s.ApplyUpdate(Intersect{A: 1, B: 2})
+	res := r.last()
+	if res.Err != "" || res.Index != 3 {
+		t.Fatalf("intersect = %+v", res)
+	}
+	for _, id := range res.DocIDs {
+		inA, inB := false, false
+		for _, a := range s.SetIDs(1) {
+			if a == id {
+				inA = true
+			}
+		}
+		for _, b := range s.SetIDs(2) {
+			if b == id {
+				inB = true
+			}
+		}
+		if !inA || !inB {
+			t.Fatalf("doc %d not in both sets", id)
+		}
+	}
+}
+
+func TestBadBaseReportsError(t *testing.T) {
+	_, s, r := newSearch(t)
+	s.ApplyUpdate(Query{Word: "group", Base: 7})
+	if r.last().Err == "" {
+		t.Fatal("unknown base must report an error")
+	}
+	s.ApplyUpdate(Intersect{A: 0, B: 1})
+	if r.last().Err == "" {
+		t.Fatal("intersect with base 0 must report an error")
+	}
+	if s.Sets() != 0 {
+		t.Fatal("failed queries must not extend the context")
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	got := intersectSorted([]int{1, 3, 5, 7}, []int{2, 3, 5, 8})
+	if !reflect.DeepEqual(got, []int{3, 5}) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if intersectSorted(nil, []int{1}) != nil {
+		t.Fatal("empty intersect should be nil")
+	}
+}
+
+func TestBackupMirrorsContext(t *testing.T) {
+	corpus, s, _ := newSearch(t)
+	backup := New(corpus).NewSession("papers", 1, 1).(*session)
+	// Same totally ordered updates, no activation.
+	for _, q := range []wire.Message{
+		Query{Word: "replication"},
+		Query{AfterYear: 1990, Base: 1},
+		Intersect{A: 1, B: 2},
+	} {
+		s.ApplyUpdate(q)
+		backup.ApplyUpdate(q)
+	}
+	if s.Sets() != backup.Sets() {
+		t.Fatalf("context diverged: %d vs %d", s.Sets(), backup.Sets())
+	}
+	for i := 1; i <= s.Sets(); i++ {
+		if !reflect.DeepEqual(s.SetIDs(i), backup.SetIDs(i)) {
+			t.Fatalf("result set %d diverged", i)
+		}
+	}
+}
+
+func TestSnapshotRestoreSync(t *testing.T) {
+	corpus, s, _ := newSearch(t)
+	s.ApplyUpdate(Query{Word: "replication"})
+	s.ApplyUpdate(Query{Word: "group"})
+	blob := s.Snapshot()
+
+	fresh := New(corpus).NewSession("papers", 2, 2).(*session)
+	fresh.Restore(blob)
+	if fresh.Sets() != 2 {
+		t.Fatalf("restored sets = %d", fresh.Sets())
+	}
+	if !reflect.DeepEqual(fresh.SetIDs(1), s.SetIDs(1)) {
+		t.Fatal("restored set 1 differs")
+	}
+
+	// Sync adopts only longer histories.
+	stale := New(corpus).NewSession("papers", 3, 3).(*session)
+	stale.ApplyUpdate(Query{Word: "replication"})
+	stale.ApplyUpdate(Query{Word: "group"})
+	stale.ApplyUpdate(Query{Word: "video"})
+	stale.Sync(blob) // 2 sets < 3 local: ignored
+	if stale.Sets() != 3 {
+		t.Fatal("Sync must not shrink the history")
+	}
+	fresh.Restore(nil)
+	if fresh.Sets() != 2 {
+		t.Fatal("Restore(nil) must be a no-op")
+	}
+}
+
+func TestServiceInterface(t *testing.T) {
+	var _ core.Service = New(GenerateCorpus("c", 10))
+	if New(GenerateCorpus("c", 10)).Corpus().Len() != 10 {
+		t.Error("corpus accessor")
+	}
+}

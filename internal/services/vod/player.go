@@ -1,0 +1,90 @@
+package vod
+
+import (
+	"sync"
+
+	"hafw/internal/wire"
+)
+
+// PlayerStats summarizes what a client actually received — the measurable
+// side of the paper's analysis: duplicates (the takeover uncertainty
+// window) and gaps (frames dropped by a DropUncertain/MPEGPolicy
+// takeover or lost outright).
+type PlayerStats struct {
+	// Received counts every frame delivery, duplicates included.
+	Received uint64
+	// Unique counts distinct frame indexes seen.
+	Unique uint64
+	// Duplicates counts deliveries of already-seen indexes.
+	Duplicates uint64
+	// DuplicateI/DuplicateP/DuplicateB split duplicates by class.
+	DuplicateI, DuplicateP, DuplicateB uint64
+	// MaxIndex is the highest frame index seen.
+	MaxIndex uint64
+	// MissingTotal counts indexes ≤ MaxIndex never seen.
+	MissingTotal uint64
+	// MissingI counts missing I frames (the class the MPEG policy
+	// protects).
+	MissingI uint64
+}
+
+// Player is the client-side frame consumer: plug Handler into
+// core.Client.StartSession and read Stats.
+type Player struct {
+	mu   sync.Mutex
+	gop  uint64
+	seen map[uint64]int
+	st   PlayerStats
+}
+
+// NewPlayer creates a player for a movie (the GOP classifies missing
+// frames).
+func NewPlayer(movie Movie) *Player {
+	return &Player{gop: movie.GOP, seen: make(map[uint64]int)}
+}
+
+// Handler consumes one response; it has the core.ResponseHandler shape.
+func (p *Player) Handler(seq uint64, body wire.Message) {
+	f, ok := body.(Frame)
+	if !ok {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.st.Received++
+	p.seen[f.Index]++
+	if p.seen[f.Index] == 1 {
+		p.st.Unique++
+	} else {
+		p.st.Duplicates++
+		switch f.Class {
+		case ClassI:
+			p.st.DuplicateI++
+		case ClassP:
+			p.st.DuplicateP++
+		case ClassB:
+			p.st.DuplicateB++
+		}
+	}
+	if f.Index > p.st.MaxIndex {
+		p.st.MaxIndex = f.Index
+	}
+}
+
+// Stats returns the current statistics, recomputing the missing counts
+// against the contiguous range [0, MaxIndex].
+func (p *Player) Stats() PlayerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.st
+	st.MissingTotal, st.MissingI = 0, 0
+	for i := uint64(0); i <= st.MaxIndex && st.Unique > 0; i++ {
+		if p.seen[i] == 0 {
+			st.MissingTotal++
+			if p.gop == 0 || i%p.gop == 0 {
+				st.MissingI++
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package testutil provides knobs shared by test harnesses.
+package testutil
+
+// TimeScale multiplies protocol timer constants in test harnesses. It is 1
+// normally and larger under the race detector, whose instrumentation slows
+// goroutines enough to starve aggressive failure-detection timeouts.
+const TimeScale = 1

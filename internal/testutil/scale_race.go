@@ -1,0 +1,9 @@
+//go:build race
+
+// Package testutil provides knobs shared by test harnesses.
+package testutil
+
+// TimeScale multiplies protocol timer constants in test harnesses; under
+// the race detector everything runs several times slower, so failure
+// detection must be proportionally more patient to keep views precise.
+const TimeScale = 6

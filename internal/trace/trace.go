@@ -1,0 +1,276 @@
+// Package trace records framework events across the processes of an
+// in-memory deployment and checks the paper's availability invariants over
+// them — most importantly the first design goal of Section 2: "there ought
+// to be exactly one server at a time that is sending responses for a
+// particular session".
+//
+// Because every process in an experiment shares one wall clock (they run
+// in one OS process), primary intervals can be compared directly.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hafw/internal/ids"
+)
+
+// Kind labels a recorded event.
+type Kind string
+
+// Event kinds recorded by the framework and harnesses.
+const (
+	// KindPromote marks a server becoming a session's primary.
+	KindPromote Kind = "promote"
+	// KindDemote marks a server ceasing to be a session's primary
+	// (demotion, session close, or server stop).
+	KindDemote Kind = "demote"
+	// KindCrash marks a process crash injected by the harness; open
+	// primary intervals at that node close at this instant, and later
+	// promote events at the node are ignored until a revive (an isolated
+	// process may keep "promoting" itself in its own partition, but it is
+	// not part of the live service).
+	KindCrash Kind = "crash"
+	// KindRevive marks a crashed process rejoining.
+	KindRevive Kind = "revive"
+	// KindResponse marks a response sent to a client.
+	KindResponse Kind = "response"
+	// KindUpdate marks a client update applied.
+	KindUpdate Kind = "update"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	// At is the wall-clock instant.
+	At time.Time
+	// Node is the process the event happened at.
+	Node ids.ProcessID
+	// Kind classifies the event.
+	Kind Kind
+	// Session is the affected session (zero for node-scoped events such as
+	// crashes).
+	Session ids.SessionID
+	// Detail is free-form context.
+	Detail string
+}
+
+// Recorder accumulates events; safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends an event stamped now.
+func (r *Recorder) Record(node ids.ProcessID, kind Kind, session ids.SessionID, detail string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, Event{
+		At: time.Now(), Node: node, Kind: kind, Session: session, Detail: detail,
+	})
+}
+
+// Events returns a copy of everything recorded, in record order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Count returns the number of events of a kind (all kinds if empty).
+func (r *Recorder) Count(kind Kind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if kind == "" {
+		return len(r.events)
+	}
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Interval is one node's primaryship over a session.
+type Interval struct {
+	// Node held primaryship.
+	Node ids.ProcessID
+	// Session is the session.
+	Session ids.SessionID
+	// Start is when the node was promoted.
+	Start time.Time
+	// End is when it was demoted or crashed; zero if still open.
+	End time.Time
+}
+
+// open reports whether the interval has no recorded end.
+func (iv Interval) open() bool { return iv.End.IsZero() }
+
+// PrimaryIntervals reconstructs, per session, each node's primaryship
+// intervals from promote/demote/crash events.
+func PrimaryIntervals(events []Event) []Interval {
+	type key struct {
+		node ids.ProcessID
+		sid  ids.SessionID
+	}
+	sorted := append([]Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At.Before(sorted[j].At) })
+
+	openIv := make(map[key]Interval)
+	crashed := make(map[ids.ProcessID]bool)
+	var out []Interval
+	for _, e := range sorted {
+		switch e.Kind {
+		case KindPromote:
+			if crashed[e.Node] {
+				continue // a dead node promoting itself is not service
+			}
+			k := key{e.Node, e.Session}
+			if _, dup := openIv[k]; dup {
+				continue // double promote: keep the original start
+			}
+			openIv[k] = Interval{Node: e.Node, Session: e.Session, Start: e.At}
+		case KindDemote:
+			k := key{e.Node, e.Session}
+			if iv, ok := openIv[k]; ok {
+				iv.End = e.At
+				out = append(out, iv)
+				delete(openIv, k)
+			}
+		case KindCrash:
+			crashed[e.Node] = true
+			for k, iv := range openIv {
+				if k.node == e.Node {
+					iv.End = e.At
+					out = append(out, iv)
+					delete(openIv, k)
+				}
+			}
+		case KindRevive:
+			delete(crashed, e.Node)
+		}
+	}
+	for _, iv := range openIv {
+		out = append(out, iv)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Session != out[j].Session {
+			return out[i].Session < out[j].Session
+		}
+		return out[i].Start.Before(out[j].Start)
+	})
+	return out
+}
+
+// Violation is one observed dual-primary window.
+type Violation struct {
+	// Session is the affected session.
+	Session ids.SessionID
+	// A and B are the overlapping intervals.
+	A, B Interval
+	// Overlap is the duration both nodes considered themselves primary.
+	Overlap time.Duration
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("session %s: %s and %s both primary for %v",
+		v.Session, v.A.Node, v.B.Node, v.Overlap)
+}
+
+// DualPrimaryViolations finds windows during which two different live
+// nodes were simultaneously primary for the same session. Tolerance
+// absorbs benign measurement skew: overlaps no longer than it are ignored
+// (a takeover is not instantaneous even in the paper's design — the old
+// primary is dead or demoted, but event timestamps are taken at slightly
+// different points).
+func DualPrimaryViolations(events []Event, tolerance time.Duration) []Violation {
+	ivs := PrimaryIntervals(events)
+	bySession := make(map[ids.SessionID][]Interval)
+	for _, iv := range ivs {
+		bySession[iv.Session] = append(bySession[iv.Session], iv)
+	}
+	now := time.Now()
+	var out []Violation
+	for sid, list := range bySession {
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				a, b := list[i], list[j]
+				if a.Node == b.Node {
+					continue
+				}
+				ov := overlap(a, b, now)
+				if ov > tolerance {
+					out = append(out, Violation{Session: sid, A: a, B: b, Overlap: ov})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Session < out[j].Session })
+	return out
+}
+
+// overlap returns the overlap duration of two intervals (0 if disjoint);
+// open intervals extend to now.
+func overlap(a, b Interval, now time.Time) time.Duration {
+	aEnd, bEnd := a.End, b.End
+	if a.open() {
+		aEnd = now
+	}
+	if b.open() {
+		bEnd = now
+	}
+	start := a.Start
+	if b.Start.After(start) {
+		start = b.Start
+	}
+	end := aEnd
+	if bEnd.Before(end) {
+		end = bEnd
+	}
+	if !end.After(start) {
+		return 0
+	}
+	return end.Sub(start)
+}
+
+// UnavailabilityWindows returns, per session, the gaps during which no
+// node at all was primary (the paper's "temporary loss of service").
+// Open intervals extend to the `until` instant.
+func UnavailabilityWindows(events []Event, until time.Time) map[ids.SessionID][]time.Duration {
+	ivs := PrimaryIntervals(events)
+	bySession := make(map[ids.SessionID][]Interval)
+	for _, iv := range ivs {
+		bySession[iv.Session] = append(bySession[iv.Session], iv)
+	}
+	out := make(map[ids.SessionID][]time.Duration)
+	for sid, list := range bySession {
+		sort.Slice(list, func(i, j int) bool { return list[i].Start.Before(list[j].Start) })
+		first := list[0]
+		covered := first.End
+		if first.open() {
+			covered = until
+		}
+		for _, iv := range list[1:] {
+			if iv.Start.After(covered) {
+				out[sid] = append(out[sid], iv.Start.Sub(covered))
+			}
+			ivEnd := iv.End
+			if iv.open() {
+				ivEnd = until
+			}
+			if ivEnd.After(covered) {
+				covered = ivEnd
+			}
+		}
+	}
+	return out
+}

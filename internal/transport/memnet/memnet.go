@@ -1,0 +1,385 @@
+// Package memnet implements an in-memory network for tests, examples, and
+// experiments. It delivers wire envelopes between attached endpoints with
+// configurable one-way latency, jitter, and loss, and exposes the fault
+// controls the paper's analysis needs: symmetric link cuts, partitions,
+// non-transitive connectivity (a can reach c, b can reach c, a cannot reach
+// b — the WAN scenario of Section 4), and process crash/restart.
+//
+// Payloads are round-tripped through the wire codec on every send, so the
+// in-memory network has the same value semantics (and byte accounting) as a
+// real one.
+package memnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hafw/internal/ids"
+	"hafw/internal/transport"
+	"hafw/internal/wire"
+)
+
+// Config parameterizes a Network.
+type Config struct {
+	// Latency is the base one-way delivery latency. Zero means immediate
+	// (still asynchronous) delivery.
+	Latency time.Duration
+	// Jitter is the maximum extra random latency added per message.
+	Jitter time.Duration
+	// Loss is the probability in [0,1) that any given message is dropped.
+	Loss float64
+	// Seed seeds the network's private random source, making loss and
+	// jitter reproducible. Zero selects a fixed default seed.
+	Seed int64
+	// QueueLen is the per-endpoint delivery queue length. When a queue is
+	// full further messages to that endpoint are dropped (and counted), as
+	// a congested host would. Zero selects a generous default.
+	QueueLen int
+}
+
+// Stats are cumulative network-wide counters. They back the load
+// experiments (E6): the framework's cost model is expressed in messages and
+// bytes crossing the network.
+type Stats struct {
+	// Sent counts envelopes accepted by Send.
+	Sent uint64
+	// Delivered counts envelopes handed to a destination handler.
+	Delivered uint64
+	// DroppedLoss counts envelopes dropped by random loss.
+	DroppedLoss uint64
+	// DroppedLink counts envelopes dropped because the link was cut or an
+	// end was crashed (checked both at send and at delivery time, so
+	// messages in flight across a new partition are lost too).
+	DroppedLink uint64
+	// DroppedQueue counts envelopes dropped on a full delivery queue.
+	DroppedQueue uint64
+	// Bytes counts encoded payload bytes accepted by Send.
+	Bytes uint64
+}
+
+type linkKey struct{ a, b ids.EndpointID }
+
+// normLink returns the canonical (ordered) key for an undirected link.
+func normLink(a, b ids.EndpointID) linkKey {
+	if b.Less(a) {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// Network is an in-memory network fabric. All methods are safe for
+// concurrent use.
+type Network struct {
+	cfg Config
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	endpoints map[ids.EndpointID]*Endpoint
+	cut       map[linkKey]bool // severed links (undirected)
+	crashed   map[ids.EndpointID]bool
+	stats     Stats
+	closed    bool
+}
+
+// New creates a network with the given configuration.
+func New(cfg Config) *Network {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.QueueLen == 0 {
+		cfg.QueueLen = 4096
+	}
+	return &Network{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		endpoints: make(map[ids.EndpointID]*Endpoint),
+		cut:       make(map[linkKey]bool),
+		crashed:   make(map[ids.EndpointID]bool),
+	}
+}
+
+// Attach creates a transport endpoint for id. Attaching an id twice is an
+// error; a crashed endpoint can be revived with Revive instead.
+func (n *Network) Attach(id ids.EndpointID) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, transport.ErrClosed
+	}
+	if _, ok := n.endpoints[id]; ok {
+		return nil, fmt.Errorf("memnet: endpoint %s already attached", id)
+	}
+	ep := &Endpoint{
+		net:   n,
+		id:    id,
+		queue: make(chan wire.Envelope, n.cfg.QueueLen),
+		done:  make(chan struct{}),
+	}
+	n.endpoints[id] = ep
+	go ep.deliverLoop()
+	return ep, nil
+}
+
+// Detach removes an endpoint entirely (Close on the endpoint calls this).
+func (n *Network) detach(id ids.EndpointID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, id)
+}
+
+// SetConnected cuts (up=false) or restores (up=true) the undirected link
+// between a and b. Cutting individual links is how tests build
+// non-transitive connectivity.
+func (n *Network) SetConnected(a, b ids.EndpointID, up bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if up {
+		delete(n.cut, normLink(a, b))
+	} else {
+		n.cut[normLink(a, b)] = true
+	}
+}
+
+// Partition splits the listed endpoints into sides: links within a side
+// stay up, links between different sides are cut. Endpoints not listed are
+// unaffected. Partition composes with previous cuts; use Heal to clear
+// everything.
+func (n *Network) Partition(sides ...[]ids.EndpointID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := range sides {
+		for j := i + 1; j < len(sides); j++ {
+			for _, a := range sides[i] {
+				for _, b := range sides[j] {
+					n.cut[normLink(a, b)] = true
+				}
+			}
+		}
+	}
+}
+
+// Heal restores every cut link. Crashed endpoints stay crashed.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut = make(map[linkKey]bool)
+}
+
+// Crash makes an endpoint unreachable in both directions without detaching
+// it: its queued and in-flight messages are discarded on delivery, and its
+// sends are dropped. The process object itself is not stopped — crash
+// semantics for the protocol state machines are exercised by simply never
+// delivering to them again, or by the harness stopping them explicitly.
+func (n *Network) Crash(id ids.EndpointID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[id] = true
+}
+
+// Revive undoes Crash.
+func (n *Network) Revive(id ids.EndpointID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, id)
+}
+
+// Crashed reports whether id is currently crashed.
+func (n *Network) Crashed(id ids.EndpointID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[id]
+}
+
+// Connected reports whether a and b can currently exchange messages.
+func (n *Network) Connected(a, b ids.EndpointID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.connectedLocked(a, b)
+}
+
+func (n *Network) connectedLocked(a, b ids.EndpointID) bool {
+	if n.crashed[a] || n.crashed[b] {
+		return false
+	}
+	return !n.cut[normLink(a, b)]
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes the counters (used between experiment phases).
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+}
+
+// Close shuts the whole network down, closing every endpoint.
+func (n *Network) Close() {
+	n.mu.Lock()
+	eps := make([]*Endpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+}
+
+// send is the network-side half of Endpoint.Send.
+func (n *Network) send(env Envelope) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.stats.Sent++
+	n.stats.Bytes += uint64(len(env.encoded))
+	if !n.connectedLocked(env.env.From, env.env.To) {
+		n.stats.DroppedLink++
+		n.mu.Unlock()
+		return
+	}
+	if n.cfg.Loss > 0 && n.rng.Float64() < n.cfg.Loss {
+		n.stats.DroppedLoss++
+		n.mu.Unlock()
+		return
+	}
+	delay := n.cfg.Latency
+	if n.cfg.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	n.mu.Unlock()
+
+	if delay <= 0 {
+		n.deliver(env)
+		return
+	}
+	time.AfterFunc(delay, func() { n.deliver(env) })
+}
+
+// deliver is the arrival-time half: it rechecks connectivity (the link may
+// have been cut while the message was in flight) and enqueues at the
+// destination.
+func (n *Network) deliver(env Envelope) {
+	n.mu.Lock()
+	if !n.connectedLocked(env.env.From, env.env.To) {
+		n.stats.DroppedLink++
+		n.mu.Unlock()
+		return
+	}
+	dst, ok := n.endpoints[env.env.To]
+	if !ok {
+		n.stats.DroppedLink++
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+
+	select {
+	case dst.queue <- env.env:
+		n.mu.Lock()
+		n.stats.Delivered++
+		n.mu.Unlock()
+	case <-dst.done:
+	default:
+		n.mu.Lock()
+		n.stats.DroppedQueue++
+		n.mu.Unlock()
+	}
+}
+
+// Envelope pairs a decoded envelope with its encoded form for byte
+// accounting.
+type Envelope struct {
+	env     wire.Envelope
+	encoded []byte
+}
+
+// Endpoint is one attachment to a Network; it implements
+// transport.Transport.
+type Endpoint struct {
+	net *Network
+	id  ids.EndpointID
+
+	mu      sync.Mutex
+	handler transport.Handler
+	closed  bool
+
+	queue chan wire.Envelope
+	done  chan struct{}
+}
+
+var _ transport.Transport = (*Endpoint)(nil)
+
+// Self implements transport.Transport.
+func (e *Endpoint) Self() ids.EndpointID { return e.id }
+
+// SetHandler implements transport.Transport.
+func (e *Endpoint) SetHandler(h transport.Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+// Send implements transport.Transport. The payload is round-tripped
+// through the wire codec, so the receiver can never alias the sender's
+// memory and unencodable payloads fail loudly here rather than silently
+// differing between memnet and tcpnet.
+func (e *Endpoint) Send(to ids.EndpointID, m wire.Message) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return transport.ErrClosed
+	}
+	data, err := wire.Encode(wire.Envelope{From: e.id, To: to, Payload: m})
+	if err != nil {
+		return err
+	}
+	env, err := wire.Decode(data)
+	if err != nil {
+		return fmt.Errorf("memnet: payload does not survive codec round-trip: %w", err)
+	}
+	e.net.send(Envelope{env: env, encoded: data})
+	return nil
+}
+
+// Close implements transport.Transport.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.done)
+	e.net.detach(e.id)
+	return nil
+}
+
+// deliverLoop runs until Close, invoking the handler sequentially.
+func (e *Endpoint) deliverLoop() {
+	for {
+		select {
+		case env := <-e.queue:
+			e.mu.Lock()
+			h := e.handler
+			e.mu.Unlock()
+			if h != nil {
+				h(env)
+			}
+		case <-e.done:
+			return
+		}
+	}
+}

@@ -1,0 +1,397 @@
+package memnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hafw/internal/ids"
+	"hafw/internal/transport"
+	"hafw/internal/wire"
+)
+
+type ping struct {
+	N    int
+	Data []byte
+}
+
+func (ping) WireName() string { return "memnet.ping" }
+
+func init() { wire.Register(ping{}) }
+
+// collector accumulates delivered envelopes for assertions.
+type collector struct {
+	mu   sync.Mutex
+	got  []wire.Envelope
+	cond *sync.Cond
+}
+
+func newCollector() *collector {
+	c := &collector{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *collector) handler(env wire.Envelope) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.got = append(c.got, env)
+	c.cond.Broadcast()
+}
+
+func (c *collector) waitN(t *testing.T, n int, timeout time.Duration) []wire.Envelope {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.got) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d envelopes, have %d", n, len(c.got))
+		}
+		c.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		c.mu.Lock()
+	}
+	out := make([]wire.Envelope, len(c.got))
+	copy(out, c.got)
+	return out
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func pair(t *testing.T, n *Network) (*Endpoint, *Endpoint, *collector, *collector) {
+	t.Helper()
+	a, err := n.Attach(ids.ProcessEndpoint(1))
+	if err != nil {
+		t.Fatalf("attach a: %v", err)
+	}
+	b, err := n.Attach(ids.ProcessEndpoint(2))
+	if err != nil {
+		t.Fatalf("attach b: %v", err)
+	}
+	ca, cb := newCollector(), newCollector()
+	a.SetHandler(ca.handler)
+	b.SetHandler(cb.handler)
+	return a, b, ca, cb
+}
+
+func TestBasicDelivery(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, _, _, cb := pair(t, n)
+
+	if err := a.Send(ids.ProcessEndpoint(2), ping{N: 42}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got := cb.waitN(t, 1, time.Second)
+	if got[0].From != ids.ProcessEndpoint(1) {
+		t.Errorf("From = %v, want p1", got[0].From)
+	}
+	p, ok := got[0].Payload.(ping)
+	if !ok || p.N != 42 {
+		t.Errorf("payload = %#v, want ping{42}", got[0].Payload)
+	}
+}
+
+func TestPayloadIsolation(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, _, _, cb := pair(t, n)
+
+	msg := ping{N: 1, Data: []byte{1, 2, 3}}
+	if err := a.Send(ids.ProcessEndpoint(2), msg); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	msg.Data[0] = 99 // mutate after send; receiver must not observe this
+	got := cb.waitN(t, 1, time.Second)
+	if got[0].Payload.(ping).Data[0] != 1 {
+		t.Error("receiver observed sender-side mutation; payloads must be copied")
+	}
+}
+
+func TestLinkCut(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, b, ca, cb := pair(t, n)
+
+	n.SetConnected(a.Self(), b.Self(), false)
+	if err := a.Send(b.Self(), ping{N: 1}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := b.Send(a.Self(), ping{N: 2}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if cb.count() != 0 || ca.count() != 0 {
+		t.Fatal("messages crossed a cut link")
+	}
+	st := n.Stats()
+	if st.DroppedLink != 2 {
+		t.Errorf("DroppedLink = %d, want 2", st.DroppedLink)
+	}
+
+	n.SetConnected(a.Self(), b.Self(), true)
+	if err := a.Send(b.Self(), ping{N: 3}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	cb.waitN(t, 1, time.Second)
+}
+
+func TestInFlightDropOnCut(t *testing.T) {
+	n := New(Config{Latency: 50 * time.Millisecond})
+	defer n.Close()
+	a, b, _, cb := pair(t, n)
+
+	if err := a.Send(b.Self(), ping{N: 1}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	// Cut while the message is in flight: it must be lost.
+	n.SetConnected(a.Self(), b.Self(), false)
+	time.Sleep(120 * time.Millisecond)
+	if cb.count() != 0 {
+		t.Fatal("in-flight message survived a link cut")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var eps []*Endpoint
+	var cols []*collector
+	for i := 1; i <= 4; i++ {
+		ep, err := n.Attach(ids.ProcessEndpoint(ids.ProcessID(i)))
+		if err != nil {
+			t.Fatalf("attach: %v", err)
+		}
+		c := newCollector()
+		ep.SetHandler(c.handler)
+		eps = append(eps, ep)
+		cols = append(cols, c)
+	}
+	side1 := []ids.EndpointID{eps[0].Self(), eps[1].Self()}
+	side2 := []ids.EndpointID{eps[2].Self(), eps[3].Self()}
+	n.Partition(side1, side2)
+
+	// Within side: delivered. Across: dropped.
+	if err := eps[0].Send(eps[1].Self(), ping{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].Send(eps[2].Self(), ping{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	cols[1].waitN(t, 1, time.Second)
+	time.Sleep(20 * time.Millisecond)
+	if cols[2].count() != 0 {
+		t.Fatal("message crossed partition")
+	}
+
+	n.Heal()
+	if err := eps[0].Send(eps[2].Self(), ping{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	cols[2].waitN(t, 1, time.Second)
+}
+
+func TestNonTransitiveConnectivity(t *testing.T) {
+	// a—c and b—c up, a—b cut: the Section 4 WAN scenario.
+	n := New(Config{})
+	defer n.Close()
+	a, err := n.Attach(ids.ProcessEndpoint(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Attach(ids.ProcessEndpoint(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := n.Attach(ids.ProcessEndpoint(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb, cc := newCollector(), newCollector(), newCollector()
+	a.SetHandler(ca.handler)
+	b.SetHandler(cb.handler)
+	c.SetHandler(cc.handler)
+
+	n.SetConnected(a.Self(), b.Self(), false)
+
+	if err := a.Send(c.Self(), ping{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(c.Self(), ping{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(b.Self(), ping{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	cc.waitN(t, 2, time.Second)
+	time.Sleep(20 * time.Millisecond)
+	if cb.count() != 0 {
+		t.Fatal("a reached b despite the cut")
+	}
+	if !n.Connected(a.Self(), c.Self()) || n.Connected(a.Self(), b.Self()) {
+		t.Error("Connected() disagrees with configuration")
+	}
+}
+
+func TestCrashAndRevive(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, b, _, cb := pair(t, n)
+
+	n.Crash(b.Self())
+	if !n.Crashed(b.Self()) {
+		t.Fatal("Crashed() should be true")
+	}
+	if err := a.Send(b.Self(), ping{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if cb.count() != 0 {
+		t.Fatal("crashed endpoint received a message")
+	}
+
+	n.Revive(b.Self())
+	if err := a.Send(b.Self(), ping{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	cb.waitN(t, 1, time.Second)
+}
+
+func TestLoss(t *testing.T) {
+	n := New(Config{Loss: 0.5, Seed: 7})
+	defer n.Close()
+	a, b, _, cb := pair(t, n)
+
+	const total = 400
+	for i := 0; i < total; i++ {
+		if err := a.Send(b.Self(), ping{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	got := cb.count()
+	if got == 0 || got == total {
+		t.Fatalf("with 50%% loss expected partial delivery, got %d/%d", got, total)
+	}
+	st := n.Stats()
+	if st.DroppedLoss+uint64(got) != total {
+		t.Errorf("loss accounting: dropped %d + delivered %d != %d", st.DroppedLoss, got, total)
+	}
+}
+
+func TestLossDeterministicWithSeed(t *testing.T) {
+	run := func() uint64 {
+		n := New(Config{Loss: 0.3, Seed: 99})
+		defer n.Close()
+		a, b, _, _ := pair(t, n)
+		for i := 0; i < 200; i++ {
+			if err := a.Send(b.Self(), ping{N: i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(30 * time.Millisecond)
+		return n.Stats().DroppedLoss
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed produced different loss: %d vs %d", a, b)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	n := New(Config{Latency: 10 * time.Millisecond})
+	defer n.Close()
+	a, b, _, cb := pair(t, n)
+
+	start := time.Now()
+	if err := a.Send(b.Self(), ping{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cb.waitN(t, 1, time.Second)
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("delivered after %v, want >= 10ms", elapsed)
+	}
+}
+
+func TestDuplicateAttach(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	if _, err := n.Attach(ids.ProcessEndpoint(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Attach(ids.ProcessEndpoint(1)); err == nil {
+		t.Fatal("second attach of same id should fail")
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, b, _, _ := pair(t, n)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(b.Self(), ping{N: 1}); err != transport.ErrClosed {
+		t.Errorf("Send after Close = %v, want ErrClosed", err)
+	}
+	// Closing twice is fine.
+	if err := a.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestDetachedDestination(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, b, _, _ := pair(t, n)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(b.Self(), ping{N: 1}); err != nil {
+		t.Fatalf("Send to detached destination should be best-effort, got %v", err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if n.Stats().Delivered != 0 {
+		t.Error("nothing should be delivered to a detached endpoint")
+	}
+}
+
+func TestStatsBytes(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, b, _, cb := pair(t, n)
+	if err := a.Send(b.Self(), ping{N: 1, Data: make([]byte, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	cb.waitN(t, 1, time.Second)
+	if st := n.Stats(); st.Bytes < 100 {
+		t.Errorf("Bytes = %d, want >= 100", st.Bytes)
+	}
+}
+
+func TestConcurrentSends(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, b, _, cb := pair(t, n)
+
+	const senders, per = 8, 50
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := a.Send(b.Self(), ping{N: s*per + i}); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	cb.waitN(t, senders*per, 5*time.Second)
+}

@@ -1,0 +1,295 @@
+// Package tcpnet implements the transport abstraction over real TCP
+// sockets, so that the stack the experiments exercise on memnet also runs
+// between OS processes (cmd/hanode, cmd/haclient).
+//
+// Framing is length-prefixed gob (package wire). Each endpoint keeps at
+// most one cached outbound connection per peer, dialed lazily and dropped
+// on any error — the transport contract is best-effort, so a failed write
+// simply loses that message and the next Send redials. Inbound connections
+// are accepted continuously and read until error; the envelope carries the
+// source, so no handshake is needed.
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hafw/internal/ids"
+	"hafw/internal/transport"
+	"hafw/internal/wire"
+)
+
+// Config parameterizes a TCP transport endpoint.
+type Config struct {
+	// Self is the identity this endpoint speaks for.
+	Self ids.EndpointID
+	// ListenAddr is the address to accept peer connections on, for example
+	// "127.0.0.1:7001". Empty means send-only (typical for clients behind
+	// NAT in tests; they still receive on connections they opened — not
+	// supported here, so server processes must listen).
+	ListenAddr string
+	// Peers maps endpoint identities to dialable addresses. More peers can
+	// be added later with AddPeer.
+	Peers map[ids.EndpointID]string
+	// DialTimeout bounds connection establishment. Zero means 2s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write. Zero means 2s.
+	WriteTimeout time.Duration
+}
+
+// Transport is a TCP-backed transport.Transport.
+type Transport struct {
+	cfg      Config
+	listener net.Listener
+
+	mu       sync.Mutex
+	handler  transport.Handler
+	peers    map[ids.EndpointID]string
+	conns    map[ids.EndpointID]net.Conn
+	accepted map[net.Conn]bool
+	// replyConns maps a remote endpoint to the inbound connection it last
+	// spoke on, so unknown peers (clients behind NAT) can be answered over
+	// the connection they opened.
+	replyConns map[ids.EndpointID]net.Conn
+	closed     bool
+
+	wg sync.WaitGroup
+}
+
+var _ transport.Transport = (*Transport)(nil)
+
+// New creates the endpoint and, if ListenAddr is set, starts accepting.
+func New(cfg Config) (*Transport, error) {
+	if cfg.Self.IsZero() {
+		return nil, errors.New("tcpnet: Config.Self is required")
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 2 * time.Second
+	}
+	t := &Transport{
+		cfg:        cfg,
+		peers:      make(map[ids.EndpointID]string, len(cfg.Peers)),
+		conns:      make(map[ids.EndpointID]net.Conn),
+		accepted:   make(map[net.Conn]bool),
+		replyConns: make(map[ids.EndpointID]net.Conn),
+	}
+	for id, addr := range cfg.Peers {
+		t.peers[id] = addr
+	}
+	if cfg.ListenAddr != "" {
+		ln, err := net.Listen("tcp", cfg.ListenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet: listen %s: %w", cfg.ListenAddr, err)
+		}
+		t.listener = ln
+		t.wg.Add(1)
+		go t.acceptLoop()
+	}
+	return t, nil
+}
+
+// Addr returns the actual listen address (useful when ListenAddr used port
+// 0), or "" if not listening.
+func (t *Transport) Addr() string {
+	if t.listener == nil {
+		return ""
+	}
+	return t.listener.Addr().String()
+}
+
+// AddPeer registers or updates the dialable address for a peer. Any cached
+// connection to the peer is dropped so the next Send uses the new address.
+func (t *Transport) AddPeer(id ids.EndpointID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = addr
+	if c, ok := t.conns[id]; ok {
+		_ = c.Close()
+		delete(t.conns, id)
+	}
+}
+
+// Self implements transport.Transport.
+func (t *Transport) Self() ids.EndpointID { return t.cfg.Self }
+
+// SetHandler implements transport.Transport.
+func (t *Transport) SetHandler(h transport.Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+// Send implements transport.Transport. Errors for unknown peers are
+// reported; transmission failures to known peers are best-effort and only
+// drop the cached connection.
+func (t *Transport) Send(to ids.EndpointID, m wire.Message) error {
+	data, err := wire.Encode(wire.Envelope{From: t.cfg.Self, To: to, Payload: m})
+	if err != nil {
+		return err
+	}
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return transport.ErrClosed
+	}
+	addr, known := t.peers[to]
+	conn := t.conns[to]
+	reply := t.replyConns[to]
+	t.mu.Unlock()
+
+	if !known {
+		if reply == nil {
+			return fmt.Errorf("tcpnet: no address for peer %s", to)
+		}
+		// Answer over the connection the peer opened to us.
+		_ = reply.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+		if err := wire.WriteFrame(reply, data); err != nil {
+			t.mu.Lock()
+			if t.replyConns[to] == reply {
+				delete(t.replyConns, to)
+			}
+			t.mu.Unlock()
+		}
+		return nil
+	}
+	if conn == nil {
+		c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+		if err != nil {
+			return nil // best-effort: peer unreachable is not a Send error
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = c.Close()
+			return transport.ErrClosed
+		}
+		if existing, ok := t.conns[to]; ok {
+			// Lost a dial race; keep the existing connection.
+			_ = c.Close()
+			conn = existing
+		} else {
+			t.conns[to] = c
+			conn = c
+			// Outbound connections are bidirectional: the peer may answer
+			// over them (it has no address book entry for us).
+			t.accepted[c] = true
+			t.wg.Add(1)
+			go t.readLoop(c)
+		}
+		t.mu.Unlock()
+	}
+
+	_ = conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+	if err := wire.WriteFrame(conn, data); err != nil {
+		t.dropConn(to, conn)
+	}
+	return nil
+}
+
+// dropConn closes and forgets a cached connection if it is still the one
+// registered for the peer.
+func (t *Transport) dropConn(to ids.EndpointID, conn net.Conn) {
+	t.mu.Lock()
+	if t.conns[to] == conn {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	_ = conn.Close()
+}
+
+// Close implements transport.Transport.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns)+len(t.accepted))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	for c := range t.accepted {
+		conns = append(conns, c)
+	}
+	t.conns = make(map[ids.EndpointID]net.Conn)
+	t.accepted = make(map[net.Conn]bool)
+	t.mu.Unlock()
+
+	if t.listener != nil {
+		_ = t.listener.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.accepted[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *Transport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		for ep, c := range t.replyConns {
+			if c == conn {
+				delete(t.replyConns, ep)
+			}
+		}
+		t.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		data, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		env, err := wire.Decode(data)
+		if err != nil {
+			continue // corrupt frame: drop, keep the connection
+		}
+		if env.To != t.cfg.Self {
+			continue // misrouted; a real host would drop it too
+		}
+		t.mu.Lock()
+		t.replyConns[env.From] = conn
+		h := t.handler
+		t.mu.Unlock()
+		if h != nil {
+			h(env)
+		}
+	}
+}

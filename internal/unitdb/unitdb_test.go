@@ -1,0 +1,499 @@
+package unitdb
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hafw/internal/ids"
+)
+
+func TestCreateSessionAssignsSequentialIDs(t *testing.T) {
+	db := New("movie-1")
+	s1 := db.CreateSession(10)
+	s2 := db.CreateSession(11)
+	if s1.ID != 1 || s2.ID != 2 {
+		t.Errorf("IDs = %v, %v; want 1, 2", s1.ID, s2.ID)
+	}
+	if db.Len() != 2 {
+		t.Errorf("Len = %d, want 2", db.Len())
+	}
+	if db.Get(s1.ID).Client != 10 {
+		t.Errorf("Client = %v, want 10", db.Get(s1.ID).Client)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	db := New("u")
+	s := db.CreateSession(1)
+	db.Remove(s.ID)
+	if db.Get(s.ID) != nil || db.Len() != 0 {
+		t.Error("session should be gone")
+	}
+	db.Remove(99) // removing unknown session is a no-op
+}
+
+func TestUpdateContextStampOrdering(t *testing.T) {
+	db := New("u")
+	s := db.CreateSession(1)
+	if !db.UpdateContext(s.ID, []byte("v2"), 2) {
+		t.Fatal("fresh update should apply")
+	}
+	if db.UpdateContext(s.ID, []byte("v1"), 1) {
+		t.Error("stale update must be rejected")
+	}
+	if db.UpdateContext(s.ID, []byte("v2dup"), 2) {
+		t.Error("equal-stamp update must be rejected")
+	}
+	if string(s.Context) != "v2" || s.Stamp != 2 {
+		t.Errorf("context = %q stamp %d, want v2/2", s.Context, s.Stamp)
+	}
+	if db.UpdateContext(999, []byte("x"), 9) {
+		t.Error("update of unknown session must report false")
+	}
+}
+
+func TestAllocateFresh(t *testing.T) {
+	db := New("u")
+	s := db.CreateSession(1)
+	members := []ids.ProcessID{1, 2, 3}
+	p, b := db.Allocate(s.ID, members, 1)
+	if p == ids.Nil {
+		t.Fatal("no primary allocated")
+	}
+	if len(b) != 1 {
+		t.Fatalf("backups = %v, want 1", b)
+	}
+	if p == b[0] {
+		t.Error("primary must not be its own backup")
+	}
+}
+
+func TestAllocateKeepsPrimary(t *testing.T) {
+	db := New("u")
+	s := db.CreateSession(1)
+	db.SetAllocation(s.ID, 2, []ids.ProcessID{3})
+	p, _ := db.Allocate(s.ID, []ids.ProcessID{1, 2, 3}, 1)
+	if p != 2 {
+		t.Errorf("primary = %v, want retained 2", p)
+	}
+}
+
+func TestAllocatePromotesBackup(t *testing.T) {
+	db := New("u")
+	s := db.CreateSession(1)
+	db.SetAllocation(s.ID, 2, []ids.ProcessID{3, 4})
+	// Primary 2 died; first surviving backup (3) must be promoted.
+	p, _ := db.Allocate(s.ID, []ids.ProcessID{1, 3, 4}, 1)
+	if p != 3 {
+		t.Errorf("primary = %v, want promoted backup 3", p)
+	}
+}
+
+func TestAllocatePromotesSecondBackupWhenFirstDead(t *testing.T) {
+	db := New("u")
+	s := db.CreateSession(1)
+	db.SetAllocation(s.ID, 2, []ids.ProcessID{3, 4})
+	p, _ := db.Allocate(s.ID, []ids.ProcessID{1, 4}, 1)
+	if p != 4 {
+		t.Errorf("primary = %v, want promoted backup 4", p)
+	}
+}
+
+func TestAllocateWholeGroupDead(t *testing.T) {
+	db := New("u")
+	s := db.CreateSession(1)
+	db.SetAllocation(s.ID, 2, []ids.ProcessID{3})
+	p, _ := db.Allocate(s.ID, []ids.ProcessID{7, 8}, 1)
+	if p != 7 && p != 8 {
+		t.Errorf("primary = %v, want a fresh member", p)
+	}
+}
+
+func TestAllocateBalancesLoad(t *testing.T) {
+	db := New("u")
+	members := []ids.ProcessID{1, 2, 3}
+	counts := make(map[ids.ProcessID]int)
+	for i := 0; i < 30; i++ {
+		s := db.CreateSession(ids.ClientID(i))
+		p, _ := db.Allocate(s.ID, members, 1)
+		counts[p]++
+	}
+	for _, m := range members {
+		if counts[m] < 5 {
+			t.Errorf("member %v got only %d/30 sessions; load balancing broken: %v", m, counts[m], counts)
+		}
+	}
+}
+
+func TestAllocateFewerMembersThanBackups(t *testing.T) {
+	db := New("u")
+	s := db.CreateSession(1)
+	p, b := db.Allocate(s.ID, []ids.ProcessID{5}, 3)
+	if p != 5 || len(b) != 0 {
+		t.Errorf("allocation = %v/%v, want 5 with no backups", p, b)
+	}
+}
+
+func TestAllocateUnknownSession(t *testing.T) {
+	db := New("u")
+	p, b := db.Allocate(42, []ids.ProcessID{1}, 1)
+	if p != ids.Nil || b != nil {
+		t.Error("unknown session must not allocate")
+	}
+}
+
+func TestReallocateMigratesOnlyOrphans(t *testing.T) {
+	db := New("u")
+	s1 := db.CreateSession(1)
+	s2 := db.CreateSession(2)
+	db.SetAllocation(s1.ID, 1, []ids.ProcessID{2})
+	db.SetAllocation(s2.ID, 3, []ids.ProcessID{1})
+
+	changes := db.Reallocate([]ids.ProcessID{1, 2}, 1) // p3 crashed
+	if len(changes) != 2 {
+		t.Fatalf("changes = %d, want 2", len(changes))
+	}
+	byID := map[ids.SessionID]Change{}
+	for _, c := range changes {
+		byID[c.SessionID] = c
+	}
+	if byID[s1.ID].PrimaryChanged() {
+		t.Error("s1's primary survived and must not migrate")
+	}
+	c2 := byID[s2.ID]
+	if !c2.PrimaryChanged() || c2.NewPrimary != 1 {
+		t.Errorf("s2 should migrate to surviving backup 1, got %+v", c2)
+	}
+}
+
+func TestSessionGroupAndInGroup(t *testing.T) {
+	s := &Session{ID: 1, Primary: 2, Backups: []ids.ProcessID{3, 4}}
+	if got := s.SessionGroup(); !reflect.DeepEqual(got, []ids.ProcessID{2, 3, 4}) {
+		t.Errorf("SessionGroup = %v", got)
+	}
+	for _, p := range []ids.ProcessID{2, 3, 4} {
+		if !s.InGroup(p) {
+			t.Errorf("InGroup(%v) = false", p)
+		}
+	}
+	if s.InGroup(5) {
+		t.Error("InGroup(5) = true")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	db := New("movie-9")
+	s := db.CreateSession(7)
+	db.SetAllocation(s.ID, 1, []ids.ProcessID{2})
+	db.UpdateContext(s.ID, []byte("ctx"), 5)
+
+	snap := db.Snapshot()
+	db2 := New("other")
+	db2.Restore(snap)
+	if db2.Checksum() != db.Checksum() {
+		t.Error("restored database differs from original")
+	}
+	// Snapshot must be a deep copy: mutating it does not affect db.
+	snap.Sessions[0].Context[0] = 'X'
+	if string(db.Get(s.ID).Context) != "ctx" {
+		t.Error("snapshot aliases live database memory")
+	}
+}
+
+func TestMergeAdoptsAndResolves(t *testing.T) {
+	a := New("u")
+	sa := a.CreateSession(1)
+	a.UpdateContext(sa.ID, []byte("old"), 1)
+
+	b := New("u")
+	sb := b.CreateSession(1) // same ID 1 on the other side (split brain)
+	b.UpdateContext(sb.ID, []byte("new"), 3)
+	b.CreateSession(2) // session unknown to a
+
+	a.Merge(b.Snapshot())
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 after merge", a.Len())
+	}
+	if string(a.Get(1).Context) != "new" {
+		t.Error("merge must keep the fresher context")
+	}
+	// Counter advanced so future IDs don't collide.
+	s3 := a.CreateSession(9)
+	if s3.ID != 3 {
+		t.Errorf("next ID = %v, want 3", s3.ID)
+	}
+}
+
+func TestMergeKeepsLocalFresher(t *testing.T) {
+	a := New("u")
+	sa := a.CreateSession(1)
+	a.UpdateContext(sa.ID, []byte("fresh"), 9)
+	b := New("u")
+	sb := b.CreateSession(1)
+	b.UpdateContext(sb.ID, []byte("stale"), 2)
+	a.Merge(b.Snapshot())
+	if string(a.Get(1).Context) != "fresh" {
+		t.Error("merge must not regress to a staler context")
+	}
+}
+
+// TestReplicaDeterminism is the core property: two replicas applying the
+// same randomized operation sequence end with identical checksums.
+func TestReplicaDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		ops := randomOps(seed, 200)
+		a, b := New("u"), New("u")
+		for _, op := range ops {
+			op(a)
+			op(b)
+		}
+		return a.Checksum() == b.Checksum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChecksumSensitivity: checksums differ when state differs.
+func TestChecksumSensitivity(t *testing.T) {
+	a, b := New("u"), New("u")
+	a.CreateSession(1)
+	b.CreateSession(2)
+	if a.Checksum() == b.Checksum() {
+		t.Error("different clients must yield different checksums")
+	}
+}
+
+// randomOps builds a deterministic random operation sequence.
+func randomOps(seed int64, n int) []func(*DB) {
+	rng := rand.New(rand.NewSource(seed))
+	members := []ids.ProcessID{1, 2, 3, 4, 5}
+	var ops []func(*DB)
+	var live []ids.SessionID
+	nextSID := uint64(0)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			c := ids.ClientID(rng.Intn(100))
+			nextSID++
+			sid := ids.SessionID(nextSID)
+			live = append(live, sid)
+			ops = append(ops, func(db *DB) { db.CreateSession(c) })
+		case 1:
+			if len(live) == 0 {
+				continue
+			}
+			sid := live[rng.Intn(len(live))]
+			stamp := uint64(rng.Intn(50))
+			ctx := []byte{byte(rng.Intn(256))}
+			ops = append(ops, func(db *DB) { db.UpdateContext(sid, ctx, stamp) })
+		case 2:
+			if len(live) == 0 {
+				continue
+			}
+			sid := live[rng.Intn(len(live))]
+			sub := members[:1+rng.Intn(len(members))]
+			bk := rng.Intn(3)
+			ops = append(ops, func(db *DB) { db.Allocate(sid, sub, bk) })
+		case 3:
+			sub := members[:1+rng.Intn(len(members))]
+			bk := rng.Intn(3)
+			ops = append(ops, func(db *DB) { db.Reallocate(sub, bk) })
+		case 4:
+			if len(live) == 0 || rng.Intn(4) != 0 {
+				continue
+			}
+			k := rng.Intn(len(live))
+			sid := live[k]
+			live = append(live[:k], live[k+1:]...)
+			ops = append(ops, func(db *DB) { db.Remove(sid) })
+		}
+	}
+	return ops
+}
+
+// TestAllocationDeterminismAcrossReplicas: replicas with identical state
+// allocate identically (no hidden map-iteration nondeterminism).
+func TestAllocationDeterminismAcrossReplicas(t *testing.T) {
+	build := func() *DB {
+		db := New("u")
+		for i := 0; i < 40; i++ {
+			s := db.CreateSession(ids.ClientID(i))
+			db.Allocate(s.ID, []ids.ProcessID{1, 2, 3, 4}, 2)
+		}
+		return db
+	}
+	a, b := build(), build()
+	ca := a.Reallocate([]ids.ProcessID{2, 3, 4}, 2)
+	cb := b.Reallocate([]ids.ProcessID{2, 3, 4}, 2)
+	if !reflect.DeepEqual(ca, cb) {
+		t.Fatal("reallocation differs between identical replicas")
+	}
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("checksums differ after identical reallocation")
+	}
+}
+
+func TestReallocateBalancedEvensLoad(t *testing.T) {
+	db := New("u")
+	// 6 sessions all piled on server 1.
+	for i := 0; i < 6; i++ {
+		s := db.CreateSession(ids.ClientID(i))
+		db.SetAllocation(s.ID, 1, nil)
+	}
+	changes := db.ReallocateBalanced([]ids.ProcessID{1, 2, 3}, 0)
+	if len(changes) != 6 {
+		t.Fatalf("changes = %d", len(changes))
+	}
+	counts := map[ids.ProcessID]int{}
+	for _, s := range db.Sessions() {
+		counts[s.Primary]++
+	}
+	for _, m := range []ids.ProcessID{1, 2, 3} {
+		if counts[m] != 2 {
+			t.Fatalf("load not evened: %v", counts)
+		}
+	}
+}
+
+func TestReallocateBalancedKeepsPrimariesUnderTarget(t *testing.T) {
+	db := New("u")
+	s1 := db.CreateSession(1)
+	db.SetAllocation(s1.ID, 2, nil)
+	changes := db.ReallocateBalanced([]ids.ProcessID{1, 2, 3}, 1)
+	if changes[0].PrimaryChanged() {
+		t.Fatalf("under-target primary migrated: %+v", changes[0])
+	}
+	if len(changes[0].NewBackups) != 1 {
+		t.Fatalf("backup not filled: %+v", changes[0])
+	}
+}
+
+func TestReallocateBalancedPromotesBackupOverStranger(t *testing.T) {
+	db := New("u")
+	// Server 1 overloaded; session's backup should win the migration.
+	for i := 0; i < 3; i++ {
+		s := db.CreateSession(ids.ClientID(i))
+		db.SetAllocation(s.ID, 1, []ids.ProcessID{2})
+	}
+	changes := db.ReallocateBalanced([]ids.ProcessID{1, 2, 3}, 1)
+	migratedToBackup := false
+	for _, c := range changes {
+		if c.PrimaryChanged() && c.NewPrimary == 2 {
+			migratedToBackup = true
+		}
+	}
+	if !migratedToBackup {
+		t.Fatalf("no session migrated to its backup: %+v", changes)
+	}
+}
+
+func TestReallocateBalancedDeadPrimary(t *testing.T) {
+	db := New("u")
+	s := db.CreateSession(1)
+	db.SetAllocation(s.ID, 9, []ids.ProcessID{2})
+	db.ReallocateBalanced([]ids.ProcessID{1, 2, 3}, 1)
+	if got := db.Get(s.ID).Primary; got != 2 {
+		t.Fatalf("dead primary should fall to surviving backup, got %v", got)
+	}
+}
+
+func TestReallocateBalancedEmptyMembers(t *testing.T) {
+	db := New("u")
+	db.CreateSession(1)
+	if got := db.ReallocateBalanced(nil, 1); len(got) != 1 {
+		t.Fatalf("changes = %v", got)
+	}
+}
+
+func TestReallocateBalancedDeterministic(t *testing.T) {
+	build := func() *DB {
+		db := New("u")
+		for i := 0; i < 30; i++ {
+			s := db.CreateSession(ids.ClientID(i % 7))
+			db.Allocate(s.ID, []ids.ProcessID{1, 2}, 1)
+		}
+		return db
+	}
+	a, b := build(), build()
+	ca := a.ReallocateBalanced([]ids.ProcessID{1, 2, 3, 4}, 1)
+	cb := b.ReallocateBalanced([]ids.ProcessID{1, 2, 3, 4}, 1)
+	if !reflect.DeepEqual(ca, cb) {
+		t.Fatal("balanced reallocation differs between identical replicas")
+	}
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("checksums differ")
+	}
+}
+
+// TestMergeOrderIndependence: merging any permutation of snapshots yields
+// identical databases — the property the join-time state exchange needs.
+func TestMergeOrderIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Build 3 divergent replicas.
+		snaps := make([]Snapshot, 3)
+		for r := range snaps {
+			db := New("u")
+			for i := 0; i < 5+rng.Intn(5); i++ {
+				s := db.CreateSession(ids.ClientID(rng.Intn(10)))
+				db.SetAllocation(s.ID, ids.ProcessID(1+rng.Intn(4)), nil)
+				db.UpdateContext(s.ID, []byte{byte(rng.Intn(255))}, uint64(rng.Intn(5)+1))
+			}
+			snaps[r] = db.Snapshot()
+		}
+		perms := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}}
+		var sums [][32]byte
+		for _, perm := range perms {
+			db := New("u")
+			for _, i := range perm {
+				db.Merge(snaps[i])
+			}
+			sums = append(sums, db.Checksum())
+		}
+		return sums[0] == sums[1] && sums[1] == sums[2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPreferSessionTotalPreference(t *testing.T) {
+	// For distinct records, exactly one of prefer(a,b) / prefer(b,a) holds.
+	f := func(stampA, stampB uint8, ctxA, ctxB byte, pA, pB uint8) bool {
+		a := &Session{Stamp: uint64(stampA % 3), Context: []byte{ctxA}, Primary: ids.ProcessID(pA % 3)}
+		b := &Session{Stamp: uint64(stampB % 3), Context: []byte{ctxB}, Primary: ids.ProcessID(pB % 3)}
+		ab, ba := preferSession(a, b), preferSession(b, a)
+		same := a.Stamp == b.Stamp && ctxA == ctxB && a.Primary == b.Primary
+		if same {
+			return !ab && !ba
+		}
+		return ab != ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSessionsOfAndLoads(t *testing.T) {
+	db := New("u")
+	s1 := db.CreateSession(1)
+	s2 := db.CreateSession(2)
+	db.SetAllocation(s1.ID, 1, []ids.ProcessID{2})
+	db.SetAllocation(s2.ID, 1, nil)
+	if got := db.SessionsOf(1); !reflect.DeepEqual(got, []ids.SessionID{1, 2}) {
+		t.Fatalf("SessionsOf = %v", got)
+	}
+	if db.PrimaryLoad(1) != 2 || db.PrimaryLoad(2) != 0 {
+		t.Fatal("PrimaryLoad wrong")
+	}
+	if db.GroupLoad(2) != 1 {
+		t.Fatal("GroupLoad wrong")
+	}
+	if db.String() == "" {
+		t.Fatal("String empty")
+	}
+	db.SetAllocation(999, 1, nil) // unknown session: no-op
+}

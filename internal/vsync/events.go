@@ -1,0 +1,124 @@
+// Package vsync implements virtually synchronous, totally ordered group
+// multicast over the membership service: the top half of the GCS the paper
+// assumes.
+//
+// Design (one paragraph): all multicasts in all lightweight groups flow
+// through the coordinator of the current process-level view, which assigns
+// each message a per-group sequence number and a per-destination stream
+// sequence number (dseq). Receivers deliver strictly in dseq order, which
+// yields total order within every group and causal order across groups (a
+// single agreed order projected onto each receiver's group set). Group
+// membership (join/leave) is itself disseminated as totally ordered
+// messages in a distinguished directory group that every view member
+// receives, so all members see identical group-view sequences. At a
+// process-level view change, the membership layer's flush hooks freeze the
+// node, collect every member's unstable and unsequenced messages, and the
+// committed union is delivered deterministically before the new view —
+// members that transition together deliver the same messages in the old
+// view (virtual synchrony). Clients are not members: they reach a group by
+// fanning an idempotent send to the members they can resolve, and the
+// coordinator deduplicates (open groups).
+package vsync
+
+import (
+	"fmt"
+
+	"hafw/internal/ids"
+	"hafw/internal/wire"
+)
+
+// DirGroup is the distinguished directory group. Every process in the view
+// is implicitly a member; join/leave announcements travel in it. The name
+// is not constructible by accident from application group names.
+const DirGroup ids.GroupName = "\x00dir"
+
+// GroupViewID identifies one group view: the process-level view it was
+// derived in plus a per-group counter of membership events within that
+// view. Members that install the same process view see identical group
+// view sequences, so GroupViewIDs are consistent across them.
+type GroupViewID struct {
+	// PV is the process-level view this group view was derived in.
+	PV ids.ViewID
+	// N counts group view events within PV, starting at 1.
+	N uint64
+}
+
+// Less orders group views lexicographically by (PV, N).
+func (g GroupViewID) Less(h GroupViewID) bool {
+	if g.PV != h.PV {
+		return g.PV.Less(h.PV)
+	}
+	return g.N < h.N
+}
+
+// IsZero reports whether g is the zero GroupViewID.
+func (g GroupViewID) IsZero() bool { return g.PV.IsZero() && g.N == 0 }
+
+// String implements fmt.Stringer.
+func (g GroupViewID) String() string { return fmt.Sprintf("%s/%d", g.PV, g.N) }
+
+// GroupView is the membership of one group as seen by its members.
+type GroupView struct {
+	// ID identifies this group view.
+	ID GroupViewID
+	// Group names the group.
+	Group ids.GroupName
+	// Members is the sorted member set: the processes that joined the
+	// group intersected with the current process-level view.
+	Members []ids.ProcessID
+}
+
+// Contains reports whether p is a member.
+func (v GroupView) Contains(p ids.ProcessID) bool {
+	for _, m := range v.Members {
+		if m == p {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (v GroupView) String() string {
+	return fmt.Sprintf("GroupView(%s %s %v)", v.Group, v.ID, v.Members)
+}
+
+// Event is a delivery to the application: either a message or a group view
+// change. Events are delivered in a single total sequence per process.
+type Event interface {
+	isEvent()
+}
+
+// MessageEvent delivers one multicast message in a group.
+type MessageEvent struct {
+	// Group is the group the message was multicast to.
+	Group ids.GroupName
+	// From is the original sender endpoint — a server process or, for
+	// open-group sends, a client.
+	From ids.EndpointID
+	// ID is the message's globally unique identifier.
+	ID ids.MsgID
+	// Payload is the application message.
+	Payload wire.Message
+	// Seq is the per-group total-order sequence number within the process
+	// view the message was sequenced in; 0 for messages delivered by the
+	// view-change flush (whose relative order is deterministic but not
+	// numbered).
+	Seq uint64
+}
+
+func (MessageEvent) isEvent() {}
+
+// ViewEvent delivers a group view change to members (including a leaving
+// member, whose final ViewEvent excludes itself).
+type ViewEvent struct {
+	// View is the new group view.
+	View GroupView
+	// Joined lists processes present now but not in the previous group
+	// view at this member (empty on the first view).
+	Joined []ids.ProcessID
+	// Left lists processes present previously but not now.
+	Left []ids.ProcessID
+}
+
+func (ViewEvent) isEvent() {}

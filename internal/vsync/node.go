@@ -1,0 +1,1166 @@
+package vsync
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"hafw/internal/ids"
+	"hafw/internal/membership"
+	"hafw/internal/wire"
+)
+
+// Sender is the outbound transport dependency.
+type Sender interface {
+	Send(to ids.EndpointID, m wire.Message) error
+}
+
+// Config parameterizes a Node.
+type Config struct {
+	// Self is the local process.
+	Self ids.ProcessID
+	// Send transmits protocol messages.
+	Send Sender
+	// OnEvent receives application deliveries, invoked sequentially from a
+	// single dispatch goroutine in delivery order.
+	OnEvent func(Event)
+	// AckInterval is the period of the housekeeping tick (delivery acks,
+	// stability broadcast, pending retry, gap detection). Zero means 25ms.
+	AckInterval time.Duration
+	// RetryTimeout is how long an unacknowledged send or an undelivered
+	// stream gap waits before retransmission machinery kicks in. Zero
+	// means 4×AckInterval.
+	RetryTimeout time.Duration
+	// HistoryLimit caps the per-destination retransmission buffer at the
+	// coordinator. Zero means 16384 messages.
+	HistoryLimit int
+}
+
+// pendingData tracks one sent-but-unsequenced message for retry and flush.
+type pendingData struct {
+	d        Data
+	lastSent time.Time
+}
+
+// groupRecv is the per-group delivery record at a member.
+type groupRecv struct {
+	// upTo is the highest group sequence number delivered (or skipped as
+	// pre-join) here, within the current view.
+	upTo uint64
+	// retained holds delivered-but-unstable sequenced messages for the
+	// view-change flush.
+	retained map[uint64]SeqData
+	// deliveredIDs dedups flush deliveries against sequenced ones within
+	// the view.
+	deliveredIDs map[ids.MsgID]bool
+}
+
+func newGroupRecv(upTo uint64) *groupRecv {
+	return &groupRecv{
+		upTo:         upTo,
+		retained:     make(map[uint64]SeqData),
+		deliveredIDs: make(map[ids.MsgID]bool),
+	}
+}
+
+// fifoBuf reassembles one sender's Data stream in SendSeq order.
+type fifoBuf struct {
+	next uint64
+	buf  map[uint64]Data
+}
+
+// coordState is the sequencing state, live only at the view coordinator.
+type coordState struct {
+	// seqDir is the sequencer-side directory: group membership as of the
+	// sequencing point (may run ahead of the delivery-side directory).
+	seqDir map[ids.GroupName]map[ids.ProcessID]bool
+	// seqd dedups sequencing by message ID within the view.
+	seqd map[ids.MsgID]bool
+	// nextSeq is the next per-group sequence number to assign.
+	nextSeq map[ids.GroupName]uint64
+	// nextDSeqOut is the next per-destination stream number to assign.
+	nextDSeqOut map[ids.ProcessID]uint64
+	// history retains sent SeqData per destination for NACK retransmit.
+	history map[ids.ProcessID]map[uint64]SeqData
+	// histMin is the lowest retained dseq per destination.
+	histMin map[ids.ProcessID]uint64
+	// acks is the latest per-member delivery report.
+	acks map[ids.ProcessID]map[ids.GroupName]uint64
+	// fifo reassembles each sender's Data stream.
+	fifo map[ids.EndpointID]*fifoBuf
+}
+
+func newCoordState() *coordState {
+	return &coordState{
+		seqDir:      make(map[ids.GroupName]map[ids.ProcessID]bool),
+		seqd:        make(map[ids.MsgID]bool),
+		nextSeq:     make(map[ids.GroupName]uint64),
+		nextDSeqOut: make(map[ids.ProcessID]uint64),
+		history:     make(map[ids.ProcessID]map[uint64]SeqData),
+		histMin:     make(map[ids.ProcessID]uint64),
+		acks:        make(map[ids.ProcessID]map[ids.GroupName]uint64),
+		fifo:        make(map[ids.EndpointID]*fifoBuf),
+	}
+}
+
+// Node is the virtual-synchrony engine for one process. It implements
+// membership.Hooks; wire it into the membership service and route inbound
+// vsync messages to Handle.
+type Node struct {
+	cfg Config
+
+	mu sync.Mutex
+	// view is the current process-level view.
+	view membership.View
+	// blocked is true between a membership Block and the next Install;
+	// while blocked the node neither initiates, sequences, nor delivers.
+	blocked bool
+
+	// dir is the delivery-side group directory.
+	dir map[ids.GroupName]map[ids.ProcessID]bool
+	// groupViewN counts directory events (joins/leaves) per group within
+	// the current process view. Every view member delivers the same
+	// directory stream, so the counters — and therefore GroupViewIDs —
+	// agree across all members, including ones that joined the group
+	// mid-view.
+	groupViewN map[ids.GroupName]uint64
+	// lastGV is the last group view emitted per group (self-member groups
+	// only), for computing join/leave deltas.
+	lastGV map[ids.GroupName]GroupView
+
+	// nextMsgSeq numbers this process's own messages (global, never
+	// reused).
+	nextMsgSeq uint64
+	// nextSendSeq is the per-view FIFO counter for Data sent by this
+	// process.
+	nextSendSeq uint64
+	// pending holds sent-but-unsequenced messages.
+	pending map[ids.MsgID]*pendingData
+	// blockedQ holds multicasts initiated while blocked, to be sent in the
+	// next view.
+	blockedQ []Data
+
+	// nextDSeq is the next stream position to deliver.
+	nextDSeq uint64
+	// dseqBuf holds out-of-order stream entries.
+	dseqBuf map[uint64]SeqData
+	// recvMaxDSeq is the highest stream position known to exist.
+	recvMaxDSeq uint64
+	// lastNack rate-limits gap NACKs.
+	lastNack time.Time
+	// grp is the per-group delivery record for groups this process
+	// receives (its member groups plus DirGroup).
+	grp map[ids.GroupName]*groupRecv
+
+	// coord is the sequencing state; non-nil iff this process coordinates
+	// the current view.
+	coord *coordState
+
+	events *eventQueue
+	stop   chan struct{}
+	done   chan struct{}
+	once   sync.Once
+}
+
+var _ membership.Hooks = (*Node)(nil)
+
+// New creates a node. The initial view is the singleton {Self}, matching
+// the membership service's initial view; the node coordinates it.
+func New(cfg Config) *Node {
+	if cfg.AckInterval == 0 {
+		cfg.AckInterval = 25 * time.Millisecond
+	}
+	if cfg.RetryTimeout == 0 {
+		cfg.RetryTimeout = 4 * cfg.AckInterval
+	}
+	if cfg.HistoryLimit == 0 {
+		cfg.HistoryLimit = 16384
+	}
+	n := &Node{
+		cfg:        cfg,
+		view:       membership.NewView(ids.ViewID{Epoch: 1, Coord: cfg.Self}, []ids.ProcessID{cfg.Self}),
+		dir:        make(map[ids.GroupName]map[ids.ProcessID]bool),
+		groupViewN: make(map[ids.GroupName]uint64),
+		lastGV:     make(map[ids.GroupName]GroupView),
+		pending:    make(map[ids.MsgID]*pendingData),
+		dseqBuf:    make(map[uint64]SeqData),
+		grp:        map[ids.GroupName]*groupRecv{DirGroup: newGroupRecv(0)},
+		coord:      newCoordState(),
+		events:     newEventQueue(),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	n.nextDSeq = 1
+	return n
+}
+
+// Start launches the dispatch and housekeeping goroutines.
+func (n *Node) Start() {
+	go n.events.dispatch(n.cfg.OnEvent)
+	go n.tickLoop()
+}
+
+// Stop terminates the node's goroutines. Pending events are discarded.
+func (n *Node) Stop() {
+	n.once.Do(func() {
+		close(n.stop)
+		<-n.done
+		n.events.close()
+	})
+}
+
+// View returns the current process-level view.
+func (n *Node) View() membership.View {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view
+}
+
+// GroupMembers returns the current membership of a group (directory
+// intersected with the view), sorted.
+func (n *Node) GroupMembers(g ids.GroupName) []ids.ProcessID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.groupMembersLocked(g)
+}
+
+func (n *Node) groupMembersLocked(g ids.GroupName) []ids.ProcessID {
+	set := n.dir[g]
+	var out []ids.ProcessID
+	for _, m := range n.view.Members {
+		if set[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// GroupsWithPrefix lists the known groups whose name begins with prefix
+// and currently have at least one member in the view, sorted by name.
+func (n *Node) GroupsWithPrefix(prefix string) []ids.GroupName {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []ids.GroupName
+	for g := range n.dir {
+		if g == DirGroup || len(g) < len(prefix) || string(g[:len(prefix)]) != prefix {
+			continue
+		}
+		if len(n.groupMembersLocked(g)) > 0 {
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Multicast sends a message to a group with totally ordered, virtually
+// synchronous delivery. The sender need not be a member. The call is
+// asynchronous: delivery happens via OnEvent.
+func (n *Node) Multicast(g ids.GroupName, payload wire.Message) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextMsgSeq++
+	d := Data{
+		VID:     n.view.ID,
+		ID:      ids.MsgID{Sender: ids.ProcessEndpoint(n.cfg.Self), Seq: n.nextMsgSeq},
+		Group:   g,
+		From:    ids.ProcessEndpoint(n.cfg.Self),
+		Payload: payload,
+	}
+	n.routeDataLocked(d)
+	return nil
+}
+
+// Join makes this process a member of g. Membership becomes effective when
+// the join announcement is delivered in total order; the resulting
+// ViewEvent signals it.
+func (n *Node) Join(g ids.GroupName) error {
+	return n.Multicast(DirGroup, JoinGroup{Group: g, P: n.cfg.Self})
+}
+
+// Leave removes this process from g. The final ViewEvent for g at this
+// process excludes it.
+func (n *Node) Leave(g ids.GroupName) error {
+	return n.Multicast(DirGroup, LeaveGroup{Group: g, P: n.cfg.Self})
+}
+
+// routeDataLocked stamps FIFO order and sends d toward the coordinator (or
+// queues it while blocked). Caller holds n.mu.
+func (n *Node) routeDataLocked(d Data) {
+	if n.blocked {
+		n.blockedQ = append(n.blockedQ, d)
+		return
+	}
+	n.nextSendSeq++
+	d.SendSeq = n.nextSendSeq
+	d.VID = n.view.ID
+	n.pending[d.ID] = &pendingData{d: d, lastSent: time.Now()}
+	n.sendDataLocked(d)
+}
+
+// sendDataLocked transmits d to the current coordinator (sequencing
+// locally if this process coordinates). Caller holds n.mu.
+func (n *Node) sendDataLocked(d Data) {
+	coord := n.view.Coordinator()
+	if coord == n.cfg.Self {
+		n.coordAcceptLocked(ids.ProcessEndpoint(n.cfg.Self), d)
+		return
+	}
+	_ = n.cfg.Send.Send(ids.ProcessEndpoint(coord), d)
+}
+
+// Handle processes one inbound vsync protocol message. Route every
+// envelope whose payload is a vsync type here, passing the transport-level
+// source.
+func (n *Node) Handle(from ids.EndpointID, m wire.Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch msg := m.(type) {
+	case Data:
+		n.handleDataLocked(from, msg)
+	case SeqData:
+		n.handleSeqDataLocked(msg)
+	case DataAck:
+		if msg.VID == n.view.ID {
+			delete(n.pending, msg.ID)
+		}
+	case Ack:
+		n.handleAckLocked(from, msg)
+	case Stable:
+		n.handleStableLocked(msg)
+	case Nack:
+		n.handleNackLocked(from, msg)
+	case ClientSend:
+		n.handleClientSendLocked(from, msg)
+	case Resolve:
+		reply := ResolveReply{Group: msg.Group, Members: n.groupMembersLocked(msg.Group)}
+		_ = n.cfg.Send.Send(from, reply)
+	}
+}
+
+// --- coordinator: sequencing ---
+
+// handleDataLocked receives a Data at what the sender believes is the
+// coordinator.
+func (n *Node) handleDataLocked(from ids.EndpointID, d Data) {
+	if n.blocked || n.coord == nil || d.VID != n.view.ID {
+		// Not sequencing: the sender's pending retry or the flush covers
+		// the message.
+		return
+	}
+	n.coordAcceptLocked(from, d)
+}
+
+// coordAcceptLocked runs FIFO reassembly, then sequencing, for one sender
+// stream entry. Caller holds n.mu; n.coord is non-nil.
+func (n *Node) coordAcceptLocked(from ids.EndpointID, d Data) {
+	c := n.coord
+	fb := c.fifo[from]
+	if fb == nil {
+		fb = &fifoBuf{next: 1, buf: make(map[uint64]Data)}
+		c.fifo[from] = fb
+	}
+	switch {
+	case d.SendSeq < fb.next:
+		// Duplicate of something already processed: re-ack so the sender
+		// stops retrying.
+		n.ackDataLocked(from, d.ID)
+		return
+	case d.SendSeq > fb.next:
+		fb.buf[d.SendSeq] = d
+		return
+	}
+	n.sequenceLocked(from, d)
+	fb.next++
+	for {
+		next, ok := fb.buf[fb.next]
+		if !ok {
+			return
+		}
+		delete(fb.buf, fb.next)
+		n.sequenceLocked(from, next)
+		fb.next++
+	}
+}
+
+// ackDataLocked sends (or locally applies) a DataAck.
+func (n *Node) ackDataLocked(from ids.EndpointID, id ids.MsgID) {
+	if from == ids.ProcessEndpoint(n.cfg.Self) {
+		delete(n.pending, id)
+		return
+	}
+	_ = n.cfg.Send.Send(from, DataAck{VID: n.view.ID, ID: id})
+}
+
+// sequenceLocked assigns order to one message and fans it out.
+func (n *Node) sequenceLocked(from ids.EndpointID, d Data) {
+	c := n.coord
+	if c.seqd[d.ID] {
+		n.ackDataLocked(from, d.ID)
+		return
+	}
+	c.seqd[d.ID] = true
+
+	var baseSeq uint64
+	if d.Group == DirGroup {
+		switch p := d.Payload.(type) {
+		case JoinGroup:
+			// Stamp the group sequence point from which the joiner
+			// participates, and admit it to the sequencer-side directory.
+			baseSeq = n.coordNextSeqLocked(p.Group)
+			set := c.seqDir[p.Group]
+			if set == nil {
+				set = make(map[ids.ProcessID]bool)
+				c.seqDir[p.Group] = set
+			}
+			set[p.P] = true
+			n.coordSetAckLocked(p.P, p.Group, baseSeq-1)
+		case LeaveGroup:
+			delete(c.seqDir[p.Group], p.P)
+		}
+	}
+
+	seq := n.coordNextSeqLocked(d.Group)
+	c.nextSeq[d.Group] = seq + 1
+
+	for _, dest := range n.destinationsLocked(d.Group) {
+		dseq := c.nextDSeqOut[dest]
+		if dseq == 0 {
+			dseq = 1
+		}
+		c.nextDSeqOut[dest] = dseq + 1
+		sd := SeqData{
+			VID: d.VID, Group: d.Group, Seq: seq, DSeq: dseq,
+			ID: d.ID, From: d.From, Payload: d.Payload, BaseSeq: baseSeq,
+		}
+		n.coordRetainLocked(dest, sd)
+		if dest == n.cfg.Self {
+			n.handleSeqDataLocked(sd)
+		} else {
+			_ = n.cfg.Send.Send(ids.ProcessEndpoint(dest), sd)
+		}
+	}
+	n.ackDataLocked(from, d.ID)
+}
+
+// coordNextSeqLocked returns the next sequence number for g (starting 1).
+func (n *Node) coordNextSeqLocked(g ids.GroupName) uint64 {
+	s := n.coord.nextSeq[g]
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// coordSetAckLocked initializes a member's ack baseline for a group.
+func (n *Node) coordSetAckLocked(p ids.ProcessID, g ids.GroupName, seq uint64) {
+	m := n.coord.acks[p]
+	if m == nil {
+		m = make(map[ids.GroupName]uint64)
+		n.coord.acks[p] = m
+	}
+	m[g] = seq
+}
+
+// destinationsLocked lists the current destinations for a group's
+// messages: every view member for DirGroup, otherwise the sequencer-side
+// directory intersected with the view.
+func (n *Node) destinationsLocked(g ids.GroupName) []ids.ProcessID {
+	if g == DirGroup {
+		return n.view.Members
+	}
+	set := n.coord.seqDir[g]
+	var out []ids.ProcessID
+	for _, m := range n.view.Members {
+		if set[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// coordRetainLocked records a sent SeqData for NACK retransmission,
+// bounding the buffer.
+func (n *Node) coordRetainLocked(dest ids.ProcessID, sd SeqData) {
+	c := n.coord
+	h := c.history[dest]
+	if h == nil {
+		h = make(map[uint64]SeqData)
+		c.history[dest] = h
+		c.histMin[dest] = sd.DSeq
+	}
+	h[sd.DSeq] = sd
+	for len(h) > n.cfg.HistoryLimit {
+		delete(h, c.histMin[dest])
+		c.histMin[dest]++
+	}
+}
+
+// --- member: delivery ---
+
+// handleSeqDataLocked accepts one stream entry, buffering out-of-order and
+// draining in strict dseq order.
+func (n *Node) handleSeqDataLocked(sd SeqData) {
+	if sd.VID != n.view.ID {
+		return
+	}
+	if sd.DSeq > n.recvMaxDSeq {
+		n.recvMaxDSeq = sd.DSeq
+	}
+	if sd.DSeq < n.nextDSeq {
+		return // duplicate
+	}
+	n.dseqBuf[sd.DSeq] = sd
+	if n.blocked {
+		return // frozen: collected by the flush, delivered at install
+	}
+	n.drainLocked()
+}
+
+// drainLocked delivers contiguous stream entries.
+func (n *Node) drainLocked() {
+	for {
+		sd, ok := n.dseqBuf[n.nextDSeq]
+		if !ok {
+			return
+		}
+		delete(n.dseqBuf, n.nextDSeq)
+		n.nextDSeq++
+		n.deliverSeqLocked(sd)
+	}
+}
+
+// deliverSeqLocked delivers one sequenced message at this member.
+func (n *Node) deliverSeqLocked(sd SeqData) {
+	g := n.grp[sd.Group]
+	if g == nil {
+		// First traffic for a group we are joining mid-view arrives only
+		// after the join announcement created the record; anything else is
+		// a stray for a group we left.
+		if sd.Group != DirGroup {
+			return
+		}
+		g = newGroupRecv(0)
+		n.grp[sd.Group] = g
+	}
+	if sd.Seq > g.upTo {
+		g.upTo = sd.Seq
+	}
+	delete(n.pending, sd.ID)
+	if g.deliveredIDs[sd.ID] {
+		return
+	}
+	g.deliveredIDs[sd.ID] = true
+	g.retained[sd.Seq] = sd
+	n.applyDeliveryLocked(sd.Group, sd.From, sd.ID, sd.Payload, sd.Seq, sd.BaseSeq)
+}
+
+// applyDeliveryLocked interprets one delivered message: directory updates
+// change group views; application messages surface as events.
+func (n *Node) applyDeliveryLocked(group ids.GroupName, from ids.EndpointID, id ids.MsgID, payload wire.Message, seq, baseSeq uint64) {
+	if group == DirGroup {
+		switch p := payload.(type) {
+		case JoinGroup:
+			set := n.dir[p.Group]
+			if set == nil {
+				set = make(map[ids.ProcessID]bool)
+				n.dir[p.Group] = set
+			}
+			if set[p.P] {
+				return // duplicate join: no event anywhere
+			}
+			set[p.P] = true
+			n.groupViewN[p.Group]++ // every member counts every event
+			if p.P == n.cfg.Self && n.grp[p.Group] == nil {
+				if baseSeq == 0 {
+					baseSeq = 1
+				}
+				n.grp[p.Group] = newGroupRecv(baseSeq - 1)
+			}
+			if set[n.cfg.Self] {
+				n.emitGroupViewLocked(p.Group)
+			}
+		case LeaveGroup:
+			set := n.dir[p.Group]
+			if !set[p.P] {
+				return
+			}
+			delete(set, p.P)
+			n.groupViewN[p.Group]++ // every member counts every event
+			if p.P == n.cfg.Self {
+				n.emitGroupViewLocked(p.Group)
+				delete(n.grp, p.Group)
+				delete(n.lastGV, p.Group)
+			} else if set[n.cfg.Self] {
+				n.emitGroupViewLocked(p.Group)
+			}
+		}
+		return
+	}
+	if !n.dir[group][n.cfg.Self] {
+		return // not (or no longer) a member: do not surface
+	}
+	n.events.push(MessageEvent{Group: group, From: from, ID: id, Payload: payload, Seq: seq})
+}
+
+// emitGroupViewLocked pushes a ViewEvent for g reflecting the current
+// directory and process view. The caller maintains groupViewN; this
+// function only reads it, so members that start observing a group
+// mid-view still agree on its GroupViewIDs.
+func (n *Node) emitGroupViewLocked(g ids.GroupName) {
+	if n.groupViewN[g] == 0 {
+		n.groupViewN[g] = 1
+	}
+	gv := GroupView{
+		ID:      GroupViewID{PV: n.view.ID, N: n.groupViewN[g]},
+		Group:   g,
+		Members: n.groupMembersLocked(g),
+	}
+	prev := n.lastGV[g].Members
+	joined, left := diffMembers(prev, gv.Members)
+	if n.dir[g][n.cfg.Self] {
+		n.lastGV[g] = gv
+	}
+	n.events.push(ViewEvent{View: gv, Joined: joined, Left: left})
+}
+
+// diffMembers returns additions and removals between two sorted member
+// lists.
+func diffMembers(prev, cur []ids.ProcessID) (joined, left []ids.ProcessID) {
+	in := func(set []ids.ProcessID, p ids.ProcessID) bool {
+		for _, q := range set {
+			if q == p {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range cur {
+		if !in(prev, p) {
+			joined = append(joined, p)
+		}
+	}
+	for _, p := range prev {
+		if !in(cur, p) {
+			left = append(left, p)
+		}
+	}
+	return joined, left
+}
+
+// --- open groups: client fan-in ---
+
+// handleClientSendLocked forwards a client's open-group send into the
+// total order on the client's behalf.
+func (n *Node) handleClientSendLocked(from ids.EndpointID, cs ClientSend) {
+	if g := n.grp[cs.Group]; g != nil && g.deliveredIDs[cs.ID] {
+		return // already delivered here: a late duplicate fan-out copy
+	}
+	d := Data{
+		ID:      cs.ID,
+		Group:   cs.Group,
+		From:    from,
+		Payload: cs.Payload,
+	}
+	if _, dup := n.pending[cs.ID]; dup {
+		return // already forwarding this one
+	}
+	n.routeDataLocked(d)
+}
+
+// --- housekeeping: acks, stability, retries, gap NACKs ---
+
+func (n *Node) tickLoop() {
+	defer close(n.done)
+	ticker := time.NewTicker(n.cfg.AckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+			n.tick()
+		}
+	}
+}
+
+func (n *Node) tick() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.blocked {
+		return
+	}
+	now := time.Now()
+
+	// Pending retry: resend unacknowledged Data to the current
+	// coordinator (covers lost Data, lost DataAcks, and coordinator
+	// changes within a view).
+	for _, p := range n.pending {
+		if now.Sub(p.lastSent) >= n.cfg.RetryTimeout {
+			p.lastSent = now
+			p.d.VID = n.view.ID
+			n.sendDataLocked(p.d)
+		}
+	}
+
+	coordID := n.view.Coordinator()
+
+	// Member: report delivery points.
+	delivered := make(map[ids.GroupName]uint64, len(n.grp))
+	for g, rec := range n.grp {
+		delivered[g] = rec.upTo
+	}
+	ack := Ack{VID: n.view.ID, Delivered: delivered, DSeqUpTo: n.nextDSeq - 1}
+	if coordID == n.cfg.Self {
+		n.applyAckLocked(n.cfg.Self, ack)
+	} else {
+		_ = n.cfg.Send.Send(ids.ProcessEndpoint(coordID), ack)
+	}
+
+	// Member: NACK stream gaps that have persisted.
+	if n.recvMaxDSeq >= n.nextDSeq && now.Sub(n.lastNack) >= n.cfg.RetryTimeout && coordID != n.cfg.Self {
+		n.lastNack = now
+		var missing []uint64
+		limit := n.recvMaxDSeq
+		if limit > n.nextDSeq+255 {
+			limit = n.nextDSeq + 255
+		}
+		for d := n.nextDSeq; d <= limit; d++ {
+			if _, ok := n.dseqBuf[d]; !ok {
+				missing = append(missing, d)
+			}
+		}
+		if len(missing) > 0 {
+			_ = n.cfg.Send.Send(ids.ProcessEndpoint(coordID), Nack{VID: n.view.ID, DSeqs: missing})
+		}
+	}
+
+	// Coordinator: compute and broadcast stability.
+	if n.coord != nil {
+		stable := n.stabilityLocked()
+		n.applyStableLocked(Stable{VID: n.view.ID, StableTo: stable, MaxDSeq: n.nextDSeq - 1})
+		for _, m := range n.view.Members {
+			if m == n.cfg.Self {
+				continue
+			}
+			var maxDSeq uint64
+			if next := n.coord.nextDSeqOut[m]; next > 0 {
+				maxDSeq = next - 1
+			}
+			st := Stable{VID: n.view.ID, StableTo: stable, MaxDSeq: maxDSeq}
+			_ = n.cfg.Send.Send(ids.ProcessEndpoint(m), st)
+		}
+	}
+}
+
+// stabilityLocked computes, per group, the highest seq delivered by every
+// current destination of the group.
+func (n *Node) stabilityLocked() map[ids.GroupName]uint64 {
+	c := n.coord
+	out := make(map[ids.GroupName]uint64)
+	groups := make(map[ids.GroupName]bool, len(c.seqDir)+1)
+	groups[DirGroup] = true
+	for g := range c.seqDir {
+		groups[g] = true
+	}
+	for g := range groups {
+		members := n.destinationsLocked(g)
+		if len(members) == 0 {
+			continue
+		}
+		var min uint64
+		first := true
+		for _, m := range members {
+			v := c.acks[m][g]
+			if first || v < min {
+				min = v
+				first = false
+			}
+		}
+		out[g] = min
+	}
+	return out
+}
+
+func (n *Node) handleAckLocked(from ids.EndpointID, a Ack) {
+	p, ok := from.Process()
+	if !ok || n.coord == nil || a.VID != n.view.ID {
+		return
+	}
+	n.applyAckLocked(p, a)
+}
+
+func (n *Node) applyAckLocked(p ids.ProcessID, a Ack) {
+	c := n.coord
+	if c == nil {
+		return
+	}
+	m := c.acks[p]
+	if m == nil {
+		m = make(map[ids.GroupName]uint64)
+		c.acks[p] = m
+	}
+	for g, seq := range a.Delivered {
+		if seq > m[g] {
+			m[g] = seq
+		}
+	}
+	// Prune the retransmission history up to the member's contiguous
+	// delivery point.
+	if h := c.history[p]; h != nil {
+		for c.histMin[p] <= a.DSeqUpTo {
+			delete(h, c.histMin[p])
+			c.histMin[p]++
+		}
+	}
+}
+
+func (n *Node) handleStableLocked(st Stable) {
+	if st.VID != n.view.ID {
+		return
+	}
+	n.applyStableLocked(st)
+}
+
+func (n *Node) applyStableLocked(st Stable) {
+	for g, seq := range st.StableTo {
+		rec := n.grp[g]
+		if rec == nil {
+			continue
+		}
+		for s := range rec.retained {
+			if s <= seq {
+				delete(rec.retained, s)
+			}
+		}
+	}
+	if st.MaxDSeq > n.recvMaxDSeq {
+		n.recvMaxDSeq = st.MaxDSeq
+	}
+	if !n.blocked {
+		n.drainLocked()
+	}
+}
+
+func (n *Node) handleNackLocked(from ids.EndpointID, nk Nack) {
+	p, ok := from.Process()
+	if !ok || n.coord == nil || nk.VID != n.view.ID {
+		return
+	}
+	h := n.coord.history[p]
+	if h == nil {
+		return
+	}
+	for _, dseq := range nk.DSeqs {
+		if sd, ok := h[dseq]; ok {
+			_ = n.cfg.Send.Send(from, sd)
+		}
+	}
+}
+
+// --- membership hooks: block / collect / install (the flush) ---
+
+// Block implements membership.Hooks: freeze initiation, sequencing, and
+// delivery so the view's message set stabilizes.
+func (n *Node) Block() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked = true
+}
+
+// Collect implements membership.Hooks: snapshot everything this process
+// knows about the dying view.
+func (n *Node) Collect() []byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	fs := flushState{
+		VID:  n.view.ID,
+		UpTo: make(map[ids.GroupName]uint64, len(n.grp)),
+		Dir:  make(map[ids.GroupName][]ids.ProcessID, len(n.dir)),
+	}
+	for g, rec := range n.grp {
+		fs.UpTo[g] = rec.upTo
+		for seq, sd := range rec.retained {
+			fs.Msgs = append(fs.Msgs, flushMsg{
+				Group: g, Seq: seq, ID: sd.ID, From: sd.From,
+				Payload: sd.Payload, BaseSeq: sd.BaseSeq,
+			})
+		}
+	}
+	// Buffered-but-undelivered stream entries are knowledge too.
+	for _, sd := range n.dseqBuf {
+		fs.Msgs = append(fs.Msgs, flushMsg{
+			Group: sd.Group, Seq: sd.Seq, ID: sd.ID, From: sd.From,
+			Payload: sd.Payload, BaseSeq: sd.BaseSeq,
+		})
+	}
+	for _, p := range n.pending {
+		fs.Pending = append(fs.Pending, p.d)
+	}
+	sort.Slice(fs.Pending, func(i, j int) bool {
+		a, b := fs.Pending[i], fs.Pending[j]
+		if a.ID.Sender != b.ID.Sender {
+			return a.ID.Sender.Less(b.ID.Sender)
+		}
+		return a.ID.Seq < b.ID.Seq
+	})
+	for g, set := range n.dir {
+		ms := make([]ids.ProcessID, 0, len(set))
+		for p := range set {
+			ms = append(ms, p)
+		}
+		fs.Dir[g] = membership.SortProcesses(ms)
+	}
+
+	blob, err := wire.EncodeMessage(fs)
+	if err != nil {
+		// flushState carries only registered message types; failure here
+		// is a programming error caught by tests.
+		panic("vsync: cannot encode flush state: " + err.Error())
+	}
+	return blob
+}
+
+// Install implements membership.Hooks: merge co-movers' states, deliver
+// the union deterministically, reset per-view machinery, emit new group
+// views, and release blocked multicasts into the new view.
+func (n *Node) Install(v membership.View, states map[ids.ProcessID][]byte) {
+	n.mu.Lock()
+
+	oldVID := n.view.ID
+
+	type mergedGroup struct {
+		msgs map[uint64]flushMsg
+		max  uint64
+	}
+	merged := make(map[ids.GroupName]*mergedGroup)
+	var pendings []Data
+	pendingSeen := make(map[ids.MsgID]bool)
+	dirMerge := make(map[ids.GroupName]map[ids.ProcessID]bool)
+
+	addDir := func(g ids.GroupName, ps []ids.ProcessID) {
+		set := dirMerge[g]
+		if set == nil {
+			set = make(map[ids.ProcessID]bool)
+			dirMerge[g] = set
+		}
+		for _, p := range ps {
+			set[p] = true
+		}
+	}
+	// Local directory participates in the merge.
+	for g, set := range n.dir {
+		for p := range set {
+			addDir(g, []ids.ProcessID{p})
+		}
+	}
+
+	for _, blob := range states {
+		if len(blob) == 0 {
+			continue
+		}
+		m, err := wire.DecodeMessage(blob)
+		if err != nil {
+			continue
+		}
+		fs, ok := m.(flushState)
+		if !ok {
+			continue
+		}
+		for g, ps := range fs.Dir {
+			addDir(g, ps)
+		}
+		if fs.VID != oldVID {
+			continue // a stranger from another partition: directory only
+		}
+		for _, fm := range fs.Msgs {
+			mg := merged[fm.Group]
+			if mg == nil {
+				mg = &mergedGroup{msgs: make(map[uint64]flushMsg)}
+				merged[fm.Group] = mg
+			}
+			if _, dup := mg.msgs[fm.Seq]; !dup {
+				mg.msgs[fm.Seq] = fm
+			}
+			if fm.Seq > mg.max {
+				mg.max = fm.Seq
+			}
+		}
+		for _, pd := range fs.Pending {
+			if !pendingSeen[pd.ID] {
+				pendingSeen[pd.ID] = true
+				pendings = append(pendings, pd)
+			}
+		}
+	}
+
+	// Deliver the merged sequenced messages in deterministic order:
+	// groups sorted by name (DirGroup's name sorts first, so membership
+	// effects precede the traffic they gate), each group in seq order,
+	// only above this member's delivery point.
+	groups := make([]ids.GroupName, 0, len(merged))
+	for g := range merged {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
+	for _, gname := range groups {
+		mg := merged[gname]
+		rec := n.grp[gname]
+		if rec == nil {
+			continue // not a member during the old view
+		}
+		for seq := rec.upTo + 1; seq <= mg.max; seq++ {
+			fm, ok := mg.msgs[seq]
+			if !ok {
+				continue // lost everywhere; skip deterministically
+			}
+			rec.upTo = seq
+			delete(n.pending, fm.ID)
+			if rec.deliveredIDs[fm.ID] {
+				continue
+			}
+			rec.deliveredIDs[fm.ID] = true
+			n.applyDeliveryLocked(gname, fm.From, fm.ID, fm.Payload, fm.Seq, fm.BaseSeq)
+		}
+	}
+
+	// Deliver never-sequenced messages deterministically after all
+	// sequenced ones (sorted when collected; merge preserved order).
+	for _, pd := range pendings {
+		delete(n.pending, pd.ID)
+		if pd.Group == DirGroup {
+			// Unsequenced directory changes: apply; a joiner starts after
+			// everything merged in this flush.
+			if jg, ok := pd.Payload.(JoinGroup); ok && jg.P == n.cfg.Self && n.grp[jg.Group] == nil {
+				var max uint64
+				if mg := merged[jg.Group]; mg != nil {
+					max = mg.max
+				}
+				n.grp[jg.Group] = newGroupRecv(max)
+			}
+			n.applyDeliveryLocked(DirGroup, pd.From, pd.ID, pd.Payload, 0, 0)
+			continue
+		}
+		rec := n.grp[pd.Group]
+		if rec == nil {
+			continue
+		}
+		if rec.deliveredIDs[pd.ID] {
+			continue
+		}
+		rec.deliveredIDs[pd.ID] = true
+		n.applyDeliveryLocked(pd.Group, pd.From, pd.ID, pd.Payload, 0, 0)
+	}
+
+	// Adopt the merged directory and the new view; reset per-view state.
+	n.dir = dirMerge
+	n.view = v
+	n.blocked = false
+	n.nextDSeq = 1
+	n.recvMaxDSeq = 0
+	n.dseqBuf = make(map[uint64]SeqData)
+	n.nextSendSeq = 0
+	n.pending = make(map[ids.MsgID]*pendingData)
+	// Every group present in the merged directory restarts its event
+	// counter at 1 for the new view — at every member, regardless of
+	// membership, so later increments stay aligned.
+	for g := range n.groupViewN {
+		delete(n.groupViewN, g)
+	}
+	for g := range n.dir {
+		n.groupViewN[g] = 1
+	}
+	newGrp := map[ids.GroupName]*groupRecv{DirGroup: newGroupRecv(0)}
+	for g, set := range n.dir {
+		if set[n.cfg.Self] {
+			newGrp[g] = newGroupRecv(0)
+		}
+	}
+	n.grp = newGrp
+
+	if v.Coordinator() == n.cfg.Self {
+		n.coord = newCoordState()
+		for g, set := range n.dir {
+			cp := make(map[ids.ProcessID]bool, len(set))
+			for p := range set {
+				cp[p] = true
+			}
+			n.coord.seqDir[g] = cp
+		}
+	} else {
+		n.coord = nil
+	}
+
+	// Emit fresh group views for every group this process belongs to.
+	memberGroups := make([]ids.GroupName, 0, len(n.dir))
+	for g, set := range n.dir {
+		if set[n.cfg.Self] {
+			memberGroups = append(memberGroups, g)
+		}
+	}
+	sort.Slice(memberGroups, func(i, j int) bool { return memberGroups[i] < memberGroups[j] })
+	for _, g := range memberGroups {
+		n.emitGroupViewLocked(g)
+	}
+
+	// Release multicasts initiated while blocked into the new view.
+	q := n.blockedQ
+	n.blockedQ = nil
+	for _, d := range q {
+		n.routeDataLocked(d)
+	}
+	n.mu.Unlock()
+}
+
+// --- event queue ---
+
+// eventQueue is an unbounded FIFO feeding the single dispatch goroutine.
+type eventQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Event
+	closed bool
+}
+
+func newEventQueue() *eventQueue {
+	q := &eventQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *eventQueue) push(e Event) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, e)
+	q.cond.Signal()
+}
+
+func (q *eventQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+func (q *eventQueue) dispatch(fn func(Event)) {
+	for {
+		q.mu.Lock()
+		for len(q.items) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.items) == 0 && q.closed {
+			q.mu.Unlock()
+			return
+		}
+		e := q.items[0]
+		q.items = q.items[1:]
+		q.mu.Unlock()
+		if fn != nil {
+			fn(e)
+		}
+	}
+}

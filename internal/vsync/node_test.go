@@ -1,0 +1,552 @@
+package vsync
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"hafw/internal/ids"
+	"hafw/internal/membership"
+	"hafw/internal/testutil"
+	"hafw/internal/wire"
+)
+
+type testPayload struct {
+	N int
+}
+
+func (testPayload) WireName() string { return "vsynctest.payload" }
+
+func init() { wire.Register(testPayload{}) }
+
+// fakeSender records outbound messages.
+type fakeSender struct {
+	mu   sync.Mutex
+	sent []wire.Envelope
+}
+
+func (f *fakeSender) Send(to ids.EndpointID, m wire.Message) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sent = append(f.sent, wire.Envelope{To: to, Payload: m})
+	return nil
+}
+
+func (f *fakeSender) count(pred func(wire.Envelope) bool) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, e := range f.sent {
+		if pred(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// eventSink accumulates delivered events.
+type eventSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (s *eventSink) on(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, e)
+}
+
+func (s *eventSink) messages(g ids.GroupName) []MessageEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []MessageEvent
+	for _, e := range s.events {
+		if me, ok := e.(MessageEvent); ok && me.Group == g {
+			out = append(out, me)
+		}
+	}
+	return out
+}
+
+func (s *eventSink) views(g ids.GroupName) []ViewEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ViewEvent
+	for _, e := range s.events {
+		if ve, ok := e.(ViewEvent); ok && ve.View.Group == g {
+			out = append(out, ve)
+		}
+	}
+	return out
+}
+
+func newTestNode(t *testing.T, self ids.ProcessID) (*Node, *fakeSender, *eventSink) {
+	t.Helper()
+	fs := &fakeSender{}
+	sink := &eventSink{}
+	n := New(Config{
+		Self:        self,
+		Send:        fs,
+		OnEvent:     sink.on,
+		AckInterval: 5 * time.Millisecond,
+	})
+	n.Start()
+	t.Cleanup(n.Stop)
+	return n, fs, sink
+}
+
+func waitSink(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second * testutil.TimeScale)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: %s", msg)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+const tg ids.GroupName = "g"
+
+func TestSingletonSelfDelivery(t *testing.T) {
+	n, _, sink := newTestNode(t, 1)
+	if err := n.Join(tg); err != nil {
+		t.Fatal(err)
+	}
+	waitSink(t, func() bool { return len(sink.views(tg)) == 1 }, "join view")
+	if got := sink.views(tg)[0].View.Members; !reflect.DeepEqual(got, []ids.ProcessID{1}) {
+		t.Fatalf("view members = %v", got)
+	}
+	for i := 0; i < 3; i++ {
+		if err := n.Multicast(tg, testPayload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitSink(t, func() bool { return len(sink.messages(tg)) == 3 }, "self delivery")
+	for i, me := range sink.messages(tg) {
+		if me.Payload.(testPayload).N != i {
+			t.Fatalf("out of order: %v", sink.messages(tg))
+		}
+		if me.Seq != uint64(i+2) { // seq 1 was the join announcement? no: joins ride DirGroup; seq starts at 1
+			// Group sequence numbers for tg start at 1.
+			if me.Seq != uint64(i+1) {
+				t.Fatalf("unexpected seq %d for message %d", me.Seq, i)
+			}
+		}
+	}
+}
+
+func TestGroupViewIDOrdering(t *testing.T) {
+	a := GroupViewID{PV: ids.ViewID{Epoch: 1, Coord: 1}, N: 2}
+	b := GroupViewID{PV: ids.ViewID{Epoch: 1, Coord: 1}, N: 3}
+	c := GroupViewID{PV: ids.ViewID{Epoch: 2, Coord: 1}, N: 1}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Fatal("GroupViewID ordering broken")
+	}
+	if !(GroupViewID{}).IsZero() || a.IsZero() {
+		t.Fatal("IsZero broken")
+	}
+	if a.String() == "" {
+		t.Fatal("String broken")
+	}
+}
+
+func TestGroupViewContains(t *testing.T) {
+	gv := GroupView{Members: []ids.ProcessID{1, 3}}
+	if !gv.Contains(1) || gv.Contains(2) {
+		t.Fatal("Contains broken")
+	}
+}
+
+func TestDiffMembers(t *testing.T) {
+	j, l := diffMembers([]ids.ProcessID{1, 2}, []ids.ProcessID{2, 3})
+	if !reflect.DeepEqual(j, []ids.ProcessID{3}) || !reflect.DeepEqual(l, []ids.ProcessID{1}) {
+		t.Fatalf("diff = %v, %v", j, l)
+	}
+	j, l = diffMembers(nil, nil)
+	if j != nil || l != nil {
+		t.Fatal("empty diff should be nil")
+	}
+}
+
+func TestLeaveEmitsFinalViewAndStopsDelivery(t *testing.T) {
+	n, _, sink := newTestNode(t, 1)
+	if err := n.Join(tg); err != nil {
+		t.Fatal(err)
+	}
+	waitSink(t, func() bool { return len(sink.views(tg)) == 1 }, "join view")
+	if err := n.Leave(tg); err != nil {
+		t.Fatal(err)
+	}
+	waitSink(t, func() bool { return len(sink.views(tg)) == 2 }, "leave view")
+	final := sink.views(tg)[1]
+	if final.View.Contains(1) {
+		t.Fatal("final view must exclude the leaver")
+	}
+	if !reflect.DeepEqual(final.Left, []ids.ProcessID{1}) {
+		t.Fatalf("Left = %v", final.Left)
+	}
+	// Multicasts after leaving are not delivered locally.
+	if err := n.Multicast(tg, testPayload{N: 9}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if len(sink.messages(tg)) != 0 {
+		t.Fatal("message delivered to a non-member")
+	}
+}
+
+func TestClientSendDeliveredOnceWithClientSource(t *testing.T) {
+	n, _, sink := newTestNode(t, 1)
+	if err := n.Join(tg); err != nil {
+		t.Fatal(err)
+	}
+	waitSink(t, func() bool { return len(sink.views(tg)) == 1 }, "join view")
+
+	cid := ids.ClientEndpoint(50)
+	cs := ClientSend{Group: tg, ID: ids.MsgID{Sender: cid, Seq: 1}, Payload: testPayload{N: 7}}
+	// Fan-out duplicates: the same ClientSend arrives twice (two members
+	// forwarded it). Exactly one delivery.
+	n.Handle(cid, cs)
+	n.Handle(cid, cs)
+	waitSink(t, func() bool { return len(sink.messages(tg)) >= 1 }, "client message")
+	time.Sleep(30 * time.Millisecond)
+	msgs := sink.messages(tg)
+	if len(msgs) != 1 {
+		t.Fatalf("delivered %d times, want once", len(msgs))
+	}
+	if msgs[0].From != cid {
+		t.Fatalf("From = %v, want client", msgs[0].From)
+	}
+}
+
+func TestResolveReply(t *testing.T) {
+	n, fs, sink := newTestNode(t, 1)
+	if err := n.Join(tg); err != nil {
+		t.Fatal(err)
+	}
+	waitSink(t, func() bool { return len(sink.views(tg)) == 1 }, "join view")
+	client := ids.ClientEndpoint(60)
+	n.Handle(client, Resolve{Group: tg})
+	if fs.count(func(e wire.Envelope) bool {
+		r, ok := e.Payload.(ResolveReply)
+		return ok && e.To == client && len(r.Members) == 1
+	}) != 1 {
+		t.Fatal("no ResolveReply sent to the client")
+	}
+}
+
+// puppetView installs a two-member view on the node via its membership
+// hooks, making the OTHER process the coordinator so receiver-side logic
+// can be driven with forged SeqData.
+func puppetView(t *testing.T, n *Node, self, other ids.ProcessID) membership.View {
+	t.Helper()
+	v := membership.NewView(ids.ViewID{Epoch: 5, Coord: other}, []ids.ProcessID{self, other})
+	n.Block()
+	n.Install(v, map[ids.ProcessID][]byte{self: n.Collect()})
+	return v
+}
+
+func TestDSeqGapBuffering(t *testing.T) {
+	n, _, sink := newTestNode(t, 2)
+	if err := n.Join(tg); err != nil {
+		t.Fatal(err)
+	}
+	waitSink(t, func() bool { return len(sink.views(tg)) == 1 }, "join view")
+	v := puppetView(t, n, 2, 1)
+
+	coord := ids.ProcessEndpoint(1)
+	mk := func(dseq, seq uint64, nn int) SeqData {
+		return SeqData{
+			VID: v.ID, Group: tg, Seq: seq, DSeq: dseq,
+			ID:      ids.MsgID{Sender: coord, Seq: uint64(nn)},
+			From:    coord,
+			Payload: testPayload{N: nn},
+		}
+	}
+	// Out of order: dseq 2 then 1. Nothing delivers until 1 arrives.
+	n.Handle(coord, mk(2, 2, 2))
+	time.Sleep(20 * time.Millisecond)
+	if len(sink.messages(tg)) != 0 {
+		t.Fatal("gap not held back")
+	}
+	n.Handle(coord, mk(1, 1, 1))
+	waitSink(t, func() bool { return len(sink.messages(tg)) == 2 }, "both delivered")
+	got := sink.messages(tg)
+	if got[0].Payload.(testPayload).N != 1 || got[1].Payload.(testPayload).N != 2 {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestStaleViewSeqDataDiscarded(t *testing.T) {
+	n, _, sink := newTestNode(t, 2)
+	if err := n.Join(tg); err != nil {
+		t.Fatal(err)
+	}
+	waitSink(t, func() bool { return len(sink.views(tg)) == 1 }, "join view")
+	v := puppetView(t, n, 2, 1)
+
+	coord := ids.ProcessEndpoint(1)
+	stale := SeqData{
+		VID:   ids.ViewID{Epoch: 1, Coord: 9}, // not the current view
+		Group: tg, Seq: 1, DSeq: 1,
+		ID:      ids.MsgID{Sender: coord, Seq: 1},
+		From:    coord,
+		Payload: testPayload{N: 1},
+	}
+	n.Handle(coord, stale)
+	time.Sleep(20 * time.Millisecond)
+	if len(sink.messages(tg)) != 0 {
+		t.Fatalf("stale-view message delivered (view %v)", v.ID)
+	}
+}
+
+func TestBlockedDeliveryFreezesUntilInstall(t *testing.T) {
+	n, _, sink := newTestNode(t, 2)
+	if err := n.Join(tg); err != nil {
+		t.Fatal(err)
+	}
+	waitSink(t, func() bool { return len(sink.views(tg)) == 1 }, "join view")
+	v := puppetView(t, n, 2, 1)
+
+	coord := ids.ProcessEndpoint(1)
+	n.Block()
+	sd := SeqData{
+		VID: v.ID, Group: tg, Seq: 1, DSeq: 1,
+		ID:      ids.MsgID{Sender: coord, Seq: 1},
+		From:    coord,
+		Payload: testPayload{N: 42},
+	}
+	n.Handle(coord, sd)
+	time.Sleep(20 * time.Millisecond)
+	if len(sink.messages(tg)) != 0 {
+		t.Fatal("delivered while blocked")
+	}
+	// The buffered message is in the collected state and delivered by the
+	// flush at install, exactly once.
+	blob := n.Collect()
+	v2 := membership.NewView(ids.ViewID{Epoch: 6, Coord: 2}, []ids.ProcessID{2})
+	n.Install(v2, map[ids.ProcessID][]byte{2: blob})
+	waitSink(t, func() bool { return len(sink.messages(tg)) == 1 }, "flush delivery")
+	if got := sink.messages(tg)[0].Payload.(testPayload).N; got != 42 {
+		t.Fatalf("payload = %d", got)
+	}
+}
+
+func TestBlockedMulticastReleasedIntoNewView(t *testing.T) {
+	n, _, sink := newTestNode(t, 1)
+	if err := n.Join(tg); err != nil {
+		t.Fatal(err)
+	}
+	waitSink(t, func() bool { return len(sink.views(tg)) == 1 }, "join view")
+
+	n.Block()
+	if err := n.Multicast(tg, testPayload{N: 5}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if len(sink.messages(tg)) != 0 {
+		t.Fatal("multicast delivered while blocked")
+	}
+	v2 := membership.NewView(ids.ViewID{Epoch: 7, Coord: 1}, []ids.ProcessID{1})
+	n.Install(v2, map[ids.ProcessID][]byte{1: n.Collect()})
+	waitSink(t, func() bool { return len(sink.messages(tg)) == 1 }, "released multicast")
+}
+
+func TestFlushDeliversIdenticalSetsToCoMovers(t *testing.T) {
+	// Two nodes receive different subsets of the same view's messages;
+	// after exchanging Collect blobs, Install delivers the union at both.
+	// The phantom coordinator is process 1 — the LEAST member of the
+	// forged view — so neither live node runs sequencer-side stability
+	// (which would otherwise legitimately prune the retained messages).
+	n5, _, sink1 := newTestNode(t, 5)
+	n6, _, sink2 := newTestNode(t, 6)
+	for _, n := range []*Node{n5, n6} {
+		if err := n.Join(tg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitSink(t, func() bool { return len(sink1.views(tg)) == 1 && len(sink2.views(tg)) == 1 }, "join views")
+
+	// Put both into the same view coordinated by absent process 1.
+	v := membership.NewView(ids.ViewID{Epoch: 5, Coord: 1}, []ids.ProcessID{1, 5, 6})
+	for _, n := range []*Node{n5, n6} {
+		n.Block()
+		n.Install(v, map[ids.ProcessID][]byte{n.cfg.Self: n.Collect()})
+	}
+	coord := ids.ProcessEndpoint(1)
+	mk := func(dseq, seq uint64, nn int) SeqData {
+		return SeqData{
+			VID: v.ID, Group: tg, Seq: seq, DSeq: dseq,
+			ID:      ids.MsgID{Sender: coord, Seq: uint64(nn)},
+			From:    coord,
+			Payload: testPayload{N: nn},
+		}
+	}
+	// n5 got messages 1 and 2; n6 got only 2 (a dseq gap means n6 buffers
+	// it undelivered — still part of its knowledge).
+	n5.Handle(coord, mk(1, 1, 1))
+	n5.Handle(coord, mk(2, 2, 2))
+	n6.Handle(coord, mk(2, 2, 2))
+	waitSink(t, func() bool { return len(sink1.messages(tg)) == 2 }, "n5 deliveries")
+
+	// Coordinator 1 crashes; survivors exchange states and install.
+	b5, b6 := n5.Collect(), n6.Collect()
+	v2 := membership.NewView(ids.ViewID{Epoch: 6, Coord: 5}, []ids.ProcessID{5, 6})
+	states := map[ids.ProcessID][]byte{5: b5, 6: b6}
+	n5.Block()
+	n6.Block()
+	n5.Install(v2, states)
+	n6.Install(v2, states)
+
+	deadline := time.Now().Add(2 * time.Second * testutil.TimeScale)
+	for len(sink1.messages(tg)) != 2 || len(sink2.messages(tg)) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("union not delivered: sink1=%d sink2=%d msgs2=%+v",
+				len(sink1.messages(tg)), len(sink2.messages(tg)), sink2.messages(tg))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	m1, m2 := sink1.messages(tg), sink2.messages(tg)
+	for i := range m1 {
+		if m1[i].Payload.(testPayload).N != m2[i].Payload.(testPayload).N {
+			t.Fatalf("co-movers diverge: %v vs %v", m1, m2)
+		}
+	}
+}
+
+func TestPendingRetryResends(t *testing.T) {
+	n, fs, _ := newTestNode(t, 2)
+	// Put node into a view coordinated by process 1 so Multicast sends
+	// Data over the wire and never gets acknowledged.
+	puppetView(t, n, 2, 1)
+	if err := n.Multicast(tg, testPayload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	isData := func(e wire.Envelope) bool {
+		_, ok := e.Payload.(Data)
+		return ok && e.To == ids.ProcessEndpoint(1)
+	}
+	waitSink(t, func() bool { return fs.count(isData) >= 2 }, "pending retry resend")
+}
+
+func TestDataAckClearsPending(t *testing.T) {
+	n, fs, _ := newTestNode(t, 2)
+	v := puppetView(t, n, 2, 1)
+	if err := n.Multicast(tg, testPayload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	n.mu.Lock()
+	var id ids.MsgID
+	for mid := range n.pending {
+		id = mid
+	}
+	n.mu.Unlock()
+	n.Handle(ids.ProcessEndpoint(1), DataAck{VID: v.ID, ID: id})
+	before := fs.count(func(e wire.Envelope) bool { _, ok := e.Payload.(Data); return ok })
+	time.Sleep(50 * time.Millisecond)
+	after := fs.count(func(e wire.Envelope) bool { _, ok := e.Payload.(Data); return ok })
+	if after != before {
+		t.Fatalf("pending kept retrying after ack: %d -> %d", before, after)
+	}
+}
+
+func TestNackTriggersRetransmit(t *testing.T) {
+	// Coordinator-side: a member NACKs a dseq; the coordinator resends
+	// from history. The singleton node is its own coordinator; forge a
+	// two-member view where self coordinates.
+	n, fs, sink := newTestNode(t, 1)
+	if err := n.Join(tg); err != nil {
+		t.Fatal(err)
+	}
+	waitSink(t, func() bool { return len(sink.views(tg)) == 1 }, "join")
+	// Bring process 2 into the view AND into the group via a forged join.
+	v := membership.NewView(ids.ViewID{Epoch: 5, Coord: 1}, []ids.ProcessID{1, 2})
+	n.Block()
+	n.Install(v, map[ids.ProcessID][]byte{1: n.Collect()})
+	n.Handle(ids.ProcessEndpoint(2), Data{
+		VID: v.ID, SendSeq: 1,
+		ID:      ids.MsgID{Sender: ids.ProcessEndpoint(2), Seq: 1},
+		Group:   DirGroup,
+		From:    ids.ProcessEndpoint(2),
+		Payload: JoinGroup{Group: tg, P: 2},
+	})
+	// Now multicast: the coordinator sends SeqData to member 2.
+	if err := n.Multicast(tg, testPayload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	isSD := func(e wire.Envelope) bool {
+		_, ok := e.Payload.(SeqData)
+		return ok && e.To == ids.ProcessEndpoint(2)
+	}
+	waitSink(t, func() bool { return fs.count(isSD) >= 1 }, "seqdata to member")
+	before := fs.count(isSD)
+	n.Handle(ids.ProcessEndpoint(2), Nack{VID: v.ID, DSeqs: []uint64{1}})
+	if fs.count(isSD) <= before {
+		t.Fatal("NACK did not trigger retransmission")
+	}
+}
+
+func TestEventQueueOrderAndClose(t *testing.T) {
+	q := newEventQueue()
+	var mu sync.Mutex
+	var got []int
+	done := make(chan struct{})
+	go func() {
+		q.dispatch(func(e Event) {
+			mu.Lock()
+			got = append(got, e.(MessageEvent).Payload.(testPayload).N)
+			mu.Unlock()
+		})
+		close(done)
+	}()
+	for i := 0; i < 100; i++ {
+		q.push(MessageEvent{Payload: testPayload{N: i}})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 100 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue drain timeout")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken at %d: %d", i, v)
+		}
+	}
+	mu.Unlock()
+	q.close()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("dispatch did not exit on close")
+	}
+	q.push(MessageEvent{}) // push after close must not panic
+}
+
+func TestGroupsWithPrefix(t *testing.T) {
+	n, _, sink := newTestNode(t, 1)
+	for _, g := range []ids.GroupName{"content/a", "content/b", "session/x"} {
+		if err := n.Join(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitSink(t, func() bool { return len(sink.views("session/x")) == 1 }, "joins done")
+	got := n.GroupsWithPrefix("content/")
+	want := []ids.GroupName{"content/a", "content/b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("GroupsWithPrefix = %v, want %v", got, want)
+	}
+	if n.GroupsWithPrefix("nope/") != nil {
+		t.Fatal("unexpected prefix matches")
+	}
+}

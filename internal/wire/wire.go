@@ -1,0 +1,167 @@
+// Package wire defines the on-the-wire representation shared by all
+// transports: the Envelope carrying one protocol message between two
+// endpoints, a registry of concrete message types, and a framed codec
+// (length-prefixed gob) used by stream transports.
+//
+// Every protocol layer (failure detection, membership, virtual synchrony,
+// framework) defines its message structs in its own package and registers
+// them with Register at init time. The registry keeps encoding symmetric
+// between the in-memory transport (which clones payloads through the codec
+// to guarantee value semantics) and the TCP transport (which sends real
+// bytes).
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"hafw/internal/ids"
+)
+
+// Message is implemented by every protocol payload that can travel in an
+// Envelope. WireName must return a stable, unique name for the concrete
+// type; it doubles as the gob registration name so that independently
+// compiled binaries interoperate.
+type Message interface {
+	WireName() string
+}
+
+// Envelope is one point-to-point datagram: a payload plus its source and
+// destination endpoints. Transports deliver envelopes at-most-once,
+// unordered, and without authentication — all reliability is built above.
+type Envelope struct {
+	// From is the sending endpoint.
+	From ids.EndpointID
+	// To is the destination endpoint.
+	To ids.EndpointID
+	// Payload is the protocol message. It must have been registered.
+	Payload Message
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]bool)
+)
+
+// Register records a concrete message type for transmission. It must be
+// called (typically from an init function) for every type that will appear
+// as an Envelope payload. Registering the same type twice is a no-op;
+// registering two distinct types with the same WireName panics, because
+// decoding would be ambiguous.
+func Register(m Message) {
+	name := m.WireName()
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if registry[name] {
+		return
+	}
+	registry[name] = true
+	gob.RegisterName(name, m)
+}
+
+// Registered reports whether a message type with the given wire name has
+// been registered.
+func Registered(name string) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return registry[name]
+}
+
+// Encode serializes an envelope to bytes. The payload must be registered.
+func Encode(env Envelope) ([]byte, error) {
+	if env.Payload == nil {
+		return nil, errors.New("wire: encode: nil payload")
+	}
+	if !Registered(env.Payload.WireName()) {
+		return nil, fmt.Errorf("wire: encode: unregistered message type %q", env.Payload.WireName())
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		return nil, fmt.Errorf("wire: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses bytes produced by Encode back into an envelope.
+func Decode(data []byte) (Envelope, error) {
+	var env Envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return Envelope{}, fmt.Errorf("wire: decode: %w", err)
+	}
+	return env, nil
+}
+
+// EncodeMessage serializes a bare message (no addresses) to bytes. It is
+// used for opaque blobs that travel inside other messages, such as the
+// virtual-synchrony flush state carried by membership commits.
+func EncodeMessage(m Message) ([]byte, error) {
+	return Encode(Envelope{Payload: m})
+}
+
+// DecodeMessage parses bytes produced by EncodeMessage.
+func DecodeMessage(data []byte) (Message, error) {
+	env, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return env.Payload, nil
+}
+
+// Clone deep-copies a message by round-tripping it through the codec. The
+// in-memory transport uses it so that a sender mutating its message after
+// Send can never alias receiver state — matching the value semantics of a
+// real network.
+func Clone(m Message) (Message, error) {
+	env, err := Encode(Envelope{Payload: m})
+	if err != nil {
+		return nil, err
+	}
+	out, err := Decode(env)
+	if err != nil {
+		return nil, err
+	}
+	return out.Payload, nil
+}
+
+// MaxFrame is the largest frame ReadFrame will accept. It protects stream
+// transports from corrupt or hostile length prefixes.
+const MaxFrame = 16 << 20 // 16 MiB
+
+// WriteFrame writes one length-prefixed frame (4-byte big-endian length
+// followed by the payload bytes) to w.
+func WriteFrame(w io.Writer, data []byte) error {
+	if len(data) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", len(data), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("wire: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame written by WriteFrame from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // preserve io.EOF for clean shutdown detection
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds max %d", n, MaxFrame)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	return data, nil
+}

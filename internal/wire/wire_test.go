@@ -1,0 +1,196 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hafw/internal/ids"
+)
+
+type testMsg struct {
+	N    int
+	Text string
+	List []uint64
+}
+
+func (testMsg) WireName() string { return "wire.testMsg" }
+
+type otherMsg struct{ X float64 }
+
+func (otherMsg) WireName() string { return "wire.otherMsg" }
+
+func init() {
+	Register(testMsg{})
+	Register(otherMsg{})
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	env := Envelope{
+		From:    ids.ProcessEndpoint(1),
+		To:      ids.ClientEndpoint(2),
+		Payload: testMsg{N: 7, Text: "hello", List: []uint64{1, 2, 3}},
+	}
+	data, err := Encode(env)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.From != env.From || got.To != env.To {
+		t.Errorf("addresses mangled: got %v->%v, want %v->%v", got.From, got.To, env.From, env.To)
+	}
+	m, ok := got.Payload.(testMsg)
+	if !ok {
+		t.Fatalf("payload type = %T, want testMsg", got.Payload)
+	}
+	if m.N != 7 || m.Text != "hello" || len(m.List) != 3 {
+		t.Errorf("payload mangled: %+v", m)
+	}
+}
+
+func TestEncodeNilPayload(t *testing.T) {
+	if _, err := Encode(Envelope{}); err == nil {
+		t.Fatal("Encode with nil payload should fail")
+	}
+}
+
+type unregisteredMsg struct{}
+
+func (unregisteredMsg) WireName() string { return "wire.unregistered" }
+
+func TestEncodeUnregistered(t *testing.T) {
+	_, err := Encode(Envelope{Payload: unregisteredMsg{}})
+	if err == nil || !strings.Contains(err.Error(), "unregistered") {
+		t.Fatalf("expected unregistered error, got %v", err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not gob")); err == nil {
+		t.Fatal("Decode of garbage should fail")
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	Register(testMsg{}) // second registration must not panic
+	if !Registered("wire.testMsg") {
+		t.Error("testMsg should be registered")
+	}
+	if Registered("wire.never") {
+		t.Error("unknown name should not be registered")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	orig := testMsg{N: 1, List: []uint64{10, 20}}
+	cloned, err := Clone(orig)
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	cm := cloned.(testMsg)
+	cm.List[0] = 99
+	if orig.List[0] != 10 {
+		t.Error("Clone must not share backing arrays with the original")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("a"), {}, []byte("third frame")}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d = %q, want %q", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Errorf("exhausted reader should return io.EOF, got %v", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); err == nil {
+		t.Error("WriteFrame should reject oversized frames")
+	}
+	// A corrupt header claiming a giant frame must be rejected before
+	// allocation.
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+		t.Error("ReadFrame should reject oversized frame headers")
+	}
+}
+
+func TestFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello world")); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Error("ReadFrame should fail on a truncated body")
+	}
+}
+
+// TestFrameProperty round-trips random payloads through the framing layer.
+func TestFrameProperty(t *testing.T) {
+	f := func(p []byte) bool {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, p); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodeProperty round-trips random message contents through the codec.
+func TestEncodeProperty(t *testing.T) {
+	f := func(n int, text string, list []uint64, from, to uint64) bool {
+		env := Envelope{
+			From:    ids.ProcessEndpoint(ids.ProcessID(from)),
+			To:      ids.ClientEndpoint(ids.ClientID(to)),
+			Payload: testMsg{N: n, Text: text, List: list},
+		}
+		data, err := Encode(env)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		m, ok := got.Payload.(testMsg)
+		if !ok || m.N != n || m.Text != text || len(m.List) != len(list) {
+			return false
+		}
+		for i := range list {
+			if m.List[i] != list[i] {
+				return false
+			}
+		}
+		return got.From == env.From && got.To == env.To
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
