@@ -1,5 +1,5 @@
 // Package hafw's root benchmark suite regenerates every experiment of the
-// reproduction (E1–E12, one benchmark each — see DESIGN.md §5 and
+// reproduction (E1–E13, one benchmark each — see DESIGN.md §5 and
 // EXPERIMENTS.md) and measures the substrate's micro-performance. Run:
 //
 //	go test -bench=. -benchmem
@@ -11,6 +11,7 @@
 package hafw
 
 import (
+	"fmt"
 	"strconv"
 	"sync"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"hafw/internal/gcs"
 	"hafw/internal/ids"
 	"hafw/internal/riskmodel"
+	"hafw/internal/store"
 	"hafw/internal/transport/memnet"
 	"hafw/internal/unitdb"
 	"hafw/internal/wire"
@@ -127,6 +129,15 @@ func BenchmarkE12AutoConfig(b *testing.B) {
 	b.ReportMetric(cell(b, t, len(t.Rows)-1, 1), "chosen_B_tightest")
 }
 
+// BenchmarkE13RestartRecovery reruns the durable-restart experiment and
+// reports the headline comparison: state-transfer bytes shipped to a warm
+// (disk intact) versus cold (disk wiped) rejoiner.
+func BenchmarkE13RestartRecovery(b *testing.B) {
+	t := runExp(b, "E13")
+	b.ReportMetric(cell(b, t, len(t.Rows)-2, 4), "warm_rejoin_bytes")
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 4), "cold_rejoin_bytes")
+}
+
 // --- substrate micro-benchmarks ---
 
 type benchMsg struct {
@@ -136,7 +147,10 @@ type benchMsg struct {
 
 func (benchMsg) WireName() string { return "bench.msg" }
 
-func init() { wire.Register(benchMsg{}) }
+func init() {
+	wire.Register(benchMsg{})
+	wire.Register(benchDelta{})
+}
 
 // BenchmarkWireEncode measures the codec on a typical payload.
 func BenchmarkWireEncode(b *testing.B) {
@@ -206,6 +220,142 @@ func BenchmarkUnitDBReallocate(b *testing.B) {
 		db.Reallocate(survivors, 1)
 	}
 }
+
+// populateStore writes n sessions (3 records each: create, allocate, one
+// context update with a 64-byte context) into a fresh store at dir.
+func populateStore(b *testing.B, dir string, n int) {
+	b.Helper()
+	s, _, _, err := store.Open(store.Options{Dir: dir, Unit: "bench", Policy: store.FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := make([]byte, 64)
+	for i := 1; i <= n; i++ {
+		sid := ids.SessionID(i)
+		for _, r := range []store.Record{
+			{Op: store.OpCreate, SID: sid, Client: ids.ClientID(1000 + i)},
+			{Op: store.OpAlloc, SID: sid, Primary: 1, Backups: []ids.ProcessID{2}},
+			{Op: store.OpCtx, SID: sid, Ctx: ctx, Stamp: 1},
+		} {
+			if err := s.Append(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWALAppend measures append throughput of the durable log with a
+// typical context-update record, per fsync policy.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, pol := range []store.Policy{store.FsyncNever, store.FsyncInterval, store.FsyncAlways} {
+		b.Run(pol.String(), func(b *testing.B) {
+			s, _, _, err := store.Open(store.Options{
+				Dir: b.TempDir(), Unit: "bench", Policy: pol, Interval: 10 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			ctx := make([]byte, 256)
+			b.SetBytes(int64(len(ctx)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := store.Record{
+					Op: store.OpCtx, SID: ids.SessionID(i%512 + 1),
+					Ctx: ctx, Stamp: uint64(i),
+				}
+				if err := s.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreRecover measures full WAL replay time as the database
+// grows — the restart-availability cost a durable server pays before it
+// can rejoin its groups.
+func BenchmarkStoreRecover(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			populateStore(b, dir, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db, _, err := store.Recover(dir, "bench")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if db.Len() != n {
+					b.Fatalf("recovered %d sessions, want %d", db.Len(), n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDeltaVsFullTransfer measures the encoded bytes a joiner is
+// shipped under the delta exchange: a warm joiner (holding a copy that
+// missed the last round of context updates on 10% of sessions — the shape
+// of a brief restart) versus a cold one (empty database, full copy). The
+// ratio is the payoff of the durable store.
+func BenchmarkDeltaVsFullTransfer(b *testing.B) {
+	const n, staleFrac = 1000, 10
+	members := []ids.ProcessID{1, 2}
+	build := func(staleTail bool) *unitdb.DB {
+		db := unitdb.New("u")
+		for i := 0; i < n; i++ {
+			s := db.CreateSession(ids.ClientID(i))
+			db.Allocate(s.ID, members, 1)
+			stamp := uint64(2)
+			if staleTail && i >= n-n/staleFrac {
+				stamp = 1
+			}
+			db.UpdateContext(s.ID, make([]byte, 64), stamp)
+		}
+		return db
+	}
+	fresh := build(false)    // the up-to-date member
+	stale := build(true)     // warm joiner: missed updates on the tail 10%
+	empty := unitdb.New("u") // cold joiner
+	transfer := func(joiner *unitdb.DB) int {
+		offers := map[ids.ProcessID]unitdb.Offer{
+			1: fresh.Offer(),
+			2: joiner.Offer(),
+		}
+		snap := fresh.DeltaFor(1, offers)
+		data, err := wire.Encode(wire.Envelope{
+			From: ids.ProcessEndpoint(1), To: ids.ProcessEndpoint(2),
+			Payload: benchDelta{Snap: snap},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return len(data)
+	}
+	var warmBytes, coldBytes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warmBytes = transfer(stale)
+		coldBytes = transfer(empty)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(warmBytes), "warm_bytes")
+	b.ReportMetric(float64(coldBytes), "cold_bytes")
+	if coldBytes <= warmBytes {
+		b.Fatalf("delta exchange did not shrink transfer: warm=%d cold=%d", warmBytes, coldBytes)
+	}
+}
+
+type benchDelta struct {
+	Snap unitdb.Snapshot
+}
+
+func (benchDelta) WireName() string { return "bench.delta" }
 
 // BenchmarkRiskMonteCarlo measures lost-update trials per second.
 func BenchmarkRiskMonteCarlo(b *testing.B) {

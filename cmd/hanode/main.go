@@ -25,6 +25,7 @@ import (
 	"hafw/internal/ids"
 	"hafw/internal/metrics"
 	"hafw/internal/services/vod"
+	"hafw/internal/store"
 	"hafw/internal/transport/tcpnet"
 )
 
@@ -38,11 +39,17 @@ func main() {
 		prop    = flag.Duration("propagation", 500*time.Millisecond, "context propagation period (the paper's T)")
 		fps     = flag.Float64("fps", 24, "movie frame rate")
 		stats   = flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+		dataDir = flag.String("data-dir", "", "directory for the durable unit store (empty = in-memory only)")
+		fsync   = flag.String("fsync", "interval", "fsync policy for the durable store: always, interval, or never")
 	)
 	flag.Parse()
 	if *id == 0 || *listen == "" || *peers == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	fsyncPolicy, err := store.ParsePolicy(*fsync)
+	if err != nil {
+		log.Fatalf("bad -fsync: %v", err)
 	}
 
 	peerAddrs, world, err := parsePeers(*peers)
@@ -66,6 +73,8 @@ func main() {
 		Self:      ids.ProcessID(*id),
 		Transport: tr,
 		World:     world,
+		DataDir:   *dataDir,
+		Fsync:     fsyncPolicy,
 		Units: []core.UnitConfig{{
 			Unit:              movie.Name,
 			Service:           vod.New(movie, vod.MPEGPolicy),
@@ -81,7 +90,11 @@ func main() {
 	if err := srv.Start(); err != nil {
 		log.Fatalf("start: %v", err)
 	}
-	log.Printf("hanode p%d serving %q (B=%d, T=%v) on %s", *id, *unit, *backups, *prop, tr.Addr())
+	durability := "in-memory"
+	if *dataDir != "" {
+		durability = fmt.Sprintf("durable at %s, fsync=%s", *dataDir, *fsync)
+	}
+	log.Printf("hanode p%d serving %q (B=%d, T=%v, %s) on %s", *id, *unit, *backups, *prop, durability, tr.Addr())
 
 	if *stats > 0 {
 		go func() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hafw/internal/ids"
+	"hafw/internal/unitdb"
 	"hafw/internal/wire"
 )
 
@@ -171,22 +172,43 @@ type SessionClosed struct {
 // WireName implements wire.Message.
 func (SessionClosed) WireName() string { return "core.SessionClosed" }
 
-// StateExchange carries one member's unit database snapshot during the
-// join-time exchange (paper Section 3.4: on views with joiners, "the
-// servers first exchange information about clients").
-type StateExchange struct {
+// StateOffer opens the join-time state exchange (paper Section 3.4: on
+// views with joiners, "the servers first exchange information about
+// clients"). Instead of multicasting full database snapshots, each member
+// first advertises per-session version stamps; members then send only the
+// records some peer is missing or holds stale (StateDelta). A cold joiner
+// still receives one full copy — from a single designated sender rather
+// than every member.
+type StateOffer struct {
 	// Unit names the content unit.
 	Unit ids.UnitName
 	// ViewPV and ViewN identify the group view the exchange belongs to, so
-	// late snapshots from superseded exchanges are discarded.
+	// late messages from superseded exchanges are discarded.
 	ViewPV ids.ViewID
 	ViewN  uint64
-	// Snap is the sender's database snapshot.
-	Snap wire.Message // *unitdb.Snapshot value
+	// Offer is the sender's per-session stamp vector.
+	Offer unitdb.Offer
 }
 
 // WireName implements wire.Message.
-func (StateExchange) WireName() string { return "core.StateExchange" }
+func (StateOffer) WireName() string { return "core.StateOffer" }
+
+// StateDelta carries the session records a member was elected to ship
+// after all offers of an exchange are in. Empty deltas still travel: every
+// member sends exactly one per exchange, so receipt of all deltas is the
+// merge barrier.
+type StateDelta struct {
+	// Unit names the content unit.
+	Unit ids.UnitName
+	// ViewPV and ViewN identify the exchange's view.
+	ViewPV ids.ViewID
+	ViewN  uint64
+	// Snap holds only the records this sender was elected to ship.
+	Snap unitdb.Snapshot
+}
+
+// WireName implements wire.Message.
+func (StateDelta) WireName() string { return "core.StateDelta" }
 
 // Handoff carries up-to-date context from a demoted (but alive) primary
 // directly to the new primary during load-balancing migration (paper
@@ -220,6 +242,7 @@ func init() {
 	wire.Register(SessionEnded{})
 	wire.Register(PropagateCtx{})
 	wire.Register(SessionClosed{})
-	wire.Register(StateExchange{})
+	wire.Register(StateOffer{})
+	wire.Register(StateDelta{})
 	wire.Register(Handoff{})
 }

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -11,6 +15,7 @@ import (
 	"hafw/internal/ids"
 	"hafw/internal/membership"
 	"hafw/internal/metrics"
+	"hafw/internal/store"
 	"hafw/internal/trace"
 	"hafw/internal/transport"
 	"hafw/internal/unitdb"
@@ -61,7 +66,21 @@ type Config struct {
 	// FDInterval, FDTimeout, RoundTimeout, AckInterval tune the GCS stack
 	// (see gcs.Config).
 	FDInterval, FDTimeout, RoundTimeout, AckInterval time.Duration
+
+	// DataDir, if set, makes every hosted unit database durable: mutations
+	// are logged to a per-unit write-ahead log under this directory, and a
+	// restarted server recovers its databases from disk and rejoins warm
+	// (receiving only the sessions it missed instead of a full snapshot).
+	DataDir string
+	// Fsync selects the store's durability policy when DataDir is set.
+	Fsync store.Policy
+	// FsyncInterval overrides the interval policy's timer period (testing).
+	FsyncInterval time.Duration
 }
+
+// checkpointEvery bounds WAL growth: after this many logged records the
+// server folds the log into a fresh checkpoint.
+const checkpointEvery = 4096
 
 // role is a replica's relationship to one session.
 type role int
@@ -82,25 +101,49 @@ type liveSession struct {
 	resp         *responder
 	lastStamp    uint64
 	lastActivity time.Time
+	// lastSent is the context bytes of the last propagated entry; unchanged
+	// snapshots are skipped so idle sessions' stamps freeze, keeping
+	// rejoin deltas proportional to actual change.
+	lastSent []byte
 	// sgMembers is the latest session-group view at this member.
 	sgMembers []ids.ProcessID
 }
 
-// exchange tracks one in-progress join-time state exchange.
+// exchange tracks one in-progress join-time state exchange: first every
+// member's Offer (stamp vector), then every member's delta.
 type exchange struct {
-	viewPV  ids.ViewID
-	viewN   uint64
-	members []ids.ProcessID
-	snaps   map[ids.ProcessID]unitdb.Snapshot
+	viewPV    ids.ViewID
+	viewN     uint64
+	members   []ids.ProcessID
+	offers    map[ids.ProcessID]unitdb.Offer
+	deltas    map[ids.ProcessID]unitdb.Snapshot
+	sentDelta bool
+	// heldProps defers context propagations that slip into the exchange
+	// window. Senders suppress propagation while exchanging, but a tick
+	// racing the view install can still enter the total order after the
+	// view cut; applying it mid-exchange would mutate records the offers
+	// already described, so no member's live record would match any offered
+	// hash and the designated-sender rule would ship nothing. All members
+	// hold the same ordered messages and replay them after the merge.
+	heldProps []PropagateCtx
 }
 
 // unitState is the server's state for one hosted content unit.
 type unitState struct {
-	cfg  UnitConfig
-	db   *unitdb.DB
-	view vsync.GroupView
-	live map[ids.SessionID]*liveSession
-	exch *exchange
+	cfg UnitConfig
+	db  *unitdb.DB
+	// st is the unit's durable log; nil when Config.DataDir is unset.
+	st *store.Store
+	// needSync marks a database recovered from disk that has not yet been
+	// reconciled with another member. Until then the recovered state is a
+	// warm cache for the delta exchange, NOT authority for allocation: a
+	// restarted server must not promote itself primary of recovered
+	// sessions (the group progressed while it was down; acting on stale
+	// allocations risks dual primaries and stale-context handoffs).
+	needSync bool
+	view     vsync.GroupView
+	live     map[ids.SessionID]*liveSession
+	exch     *exchange
 	// pendingStart tracks sessions whose SessionStarted reply (and first
 	// activation) waits for the session group to form — paper Section 3.4:
 	// members join first, "now the primary server begins sending responses
@@ -167,13 +210,35 @@ func NewServer(cfg Config) (*Server, error) {
 		if _, dup := s.units[uc.Unit]; dup {
 			return nil, errors.New("core: duplicate unit " + string(uc.Unit))
 		}
-		s.units[uc.Unit] = &unitState{
+		u := &unitState{
 			cfg:             uc,
 			db:              unitdb.New(uc.Unit),
 			live:            make(map[ids.SessionID]*liveSession),
 			pendingStart:    make(map[ids.SessionID]ids.ClientID),
 			pendingHandoffs: make(map[ids.SessionID]Handoff),
 		}
+		if cfg.DataDir != "" {
+			dir := filepath.Join(cfg.DataDir, unitDirName(uc.Unit))
+			st, db, rstats, err := store.Open(store.Options{
+				Dir:      dir,
+				Unit:     uc.Unit,
+				Policy:   cfg.Fsync,
+				Interval: cfg.FsyncInterval,
+			})
+			if err != nil {
+				return nil, err
+			}
+			u.st, u.db = st, db
+			// A non-empty recovered database is stale until reconciled
+			// with a peer — unless this server is the whole deployment.
+			u.needSync = (db.Len() > 0 || len(db.TombstoneIDs()) > 0) && hasPeers(cfg.World, cfg.Self)
+			reg.Counter("recovered_sessions").Add(uint64(db.Len()))
+			reg.Counter("recovered_records").Add(uint64(rstats.Replayed))
+			if rstats.Torn {
+				reg.Counter("recovered_torn_tails").Inc()
+			}
+		}
+		s.units[uc.Unit] = u
 	}
 	proc, err := gcs.NewProcess(gcs.Config{
 		Self:         cfg.Self,
@@ -227,6 +292,76 @@ func (s *Server) Stop() {
 	close(s.stop)
 	<-s.done
 	s.proc.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, u := range s.units {
+		if u.st != nil {
+			_ = u.st.Close()
+		}
+	}
+}
+
+// unitDirName maps a unit name to a directory-safe name.
+func unitDirName(unit ids.UnitName) string {
+	return strings.ReplaceAll(string(unit), "/", "_")
+}
+
+var debugExchange = os.Getenv("HAFW_DEBUG_EXCHANGE") != ""
+
+// describeOffers renders an offer map compactly for exchange debugging.
+func describeOffers(offers map[ids.ProcessID]unitdb.Offer) string {
+	var b strings.Builder
+	ps := make([]ids.ProcessID, 0, len(offers))
+	for p := range offers {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	for _, p := range ps {
+		fmt.Fprintf(&b, " p%d{", p)
+		for _, e := range offers[p].Stamps {
+			fmt.Fprintf(&b, "%d:s%d/h%04x ", e.ID, e.Stamp, e.Hash&0xffff)
+		}
+		fmt.Fprintf(&b, "}")
+	}
+	return b.String()
+}
+
+// hasPeers reports whether world names any process other than self.
+func hasPeers(world []ids.ProcessID, self ids.ProcessID) bool {
+	for _, p := range world {
+		if p != self {
+			return true
+		}
+	}
+	return false
+}
+
+// persistLocked appends one mutation record to the unit's durable log and
+// takes a checkpoint when the log has grown enough.
+func (s *Server) persistLocked(u *unitState, rec store.Record) {
+	if u.st == nil {
+		return
+	}
+	if err := u.st.Append(rec); err != nil {
+		s.reg.Counter("wal_errors").Inc()
+		return
+	}
+	if u.st.AppendsSinceCheckpoint() >= checkpointEvery {
+		s.checkpointLocked(u)
+	}
+}
+
+// checkpointLocked folds the unit's WAL into a fresh full-snapshot
+// checkpoint.
+func (s *Server) checkpointLocked(u *unitState) {
+	if u.st == nil {
+		return
+	}
+	if err := u.st.Checkpoint(u.db.Snapshot()); err != nil {
+		s.reg.Counter("wal_errors").Inc()
+		return
+	}
+	s.reg.Counter("checkpoints_taken").Inc()
 }
 
 // Self returns this server's process ID.
@@ -276,6 +411,18 @@ func (s *Server) DBChecksum(unit ids.UnitName) [32]byte {
 		return [32]byte{}
 	}
 	return u.db.Checksum()
+}
+
+// DBSnapshot returns a copy of the unit database's full state (test and
+// monitoring hook).
+func (s *Server) DBSnapshot(unit ids.UnitName) unitdb.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u := s.units[unit]
+	if u == nil {
+		return unitdb.Snapshot{}
+	}
+	return u.db.Snapshot()
 }
 
 // DBSessions returns the unit database's session count.
@@ -369,20 +516,40 @@ func (s *Server) checkPendingLocked(u *unitState, sid ids.SessionID) {
 func (s *Server) onContentViewLocked(u *unitState, ev gcs.ViewEvent) {
 	u.view = ev.View
 	s.reg.Counter("content_views").Inc()
+	if debugExchange {
+		fmt.Fprintf(os.Stderr, "XCHG p%d view=%v/%d members=%v joined=%v left=%v exch=%v needSync=%v\n",
+			s.cfg.Self, ev.View.ID.PV, ev.View.ID.N, ev.View.Members, ev.Joined, ev.Left, u.exch != nil, u.needSync)
+	}
 	if len(ev.Joined) > 0 || u.exch != nil {
 		// Joiners present (or a superseded exchange must be restarted):
-		// exchange snapshots first.
+		// exchange per-session stamp vectors first; the deltas follow once
+		// every member's offer is in.
 		s.reg.Counter("state_exchanges").Inc()
-		u.exch = &exchange{
-			viewPV:  ev.View.ID.PV,
-			viewN:   ev.View.ID.N,
-			members: ev.View.Members,
-			snaps:   make(map[ids.ProcessID]unitdb.Snapshot, len(ev.View.Members)),
+		var held []PropagateCtx
+		if u.exch != nil {
+			// Carry deferred propagations into the superseding exchange:
+			// they were ordered before this view at every member, so every
+			// member carries the same list.
+			held = u.exch.heldProps
 		}
-		snap := u.db.Snapshot()
-		_ = s.proc.Multicast(ContentGroup(u.cfg.Unit), StateExchange{
-			Unit: u.cfg.Unit, ViewPV: ev.View.ID.PV, ViewN: ev.View.ID.N, Snap: snap,
-		})
+		u.exch = &exchange{
+			viewPV:    ev.View.ID.PV,
+			viewN:     ev.View.ID.N,
+			members:   ev.View.Members,
+			offers:    make(map[ids.ProcessID]unitdb.Offer, len(ev.View.Members)),
+			deltas:    make(map[ids.ProcessID]unitdb.Snapshot, len(ev.View.Members)),
+			heldProps: held,
+		}
+		offer := StateOffer{
+			Unit: u.cfg.Unit, ViewPV: ev.View.ID.PV, ViewN: ev.View.ID.N, Offer: u.db.Offer(),
+		}
+		s.noteStateBytes("state_bytes_sent", offer)
+		_ = s.proc.Multicast(ContentGroup(u.cfg.Unit), offer)
+		return
+	}
+	if u.needSync {
+		// Recovered state is not yet reconciled with any peer; do not act
+		// on its allocations.
 		return
 	}
 	// Failures only: immediate deterministic takeover, no extra messages.
@@ -445,11 +612,18 @@ func (s *Server) onContentMsgLocked(u *unitState, ev gcs.MessageEvent) {
 	case StartSession:
 		s.onStartSessionLocked(u, ev.From, msg)
 	case PropagateCtx:
+		if u.exch != nil {
+			u.exch.heldProps = append(u.exch.heldProps, msg)
+			s.reg.Counter("propagations_held").Inc()
+			return
+		}
 		s.onPropagateLocked(u, msg)
 	case SessionClosed:
 		s.onSessionClosedLocked(u, msg.Session)
-	case StateExchange:
-		s.onStateExchangeLocked(u, ev.From, msg)
+	case StateOffer:
+		s.onStateOfferLocked(u, ev.From, msg)
+	case StateDelta:
+		s.onStateDeltaLocked(u, ev.From, msg)
 	}
 }
 
@@ -465,6 +639,8 @@ func (s *Server) onStartSessionLocked(u *unitState, from ids.EndpointID, msg Sta
 	sess := u.db.CreateSession(client)
 	s.flushPendingHandoffsLocked(u)
 	primary, backups := u.db.Allocate(sess.ID, u.view.Members, u.cfg.Backups)
+	s.persistLocked(u, store.Record{Op: store.OpCreate, SID: sess.ID, Client: client})
+	s.persistLocked(u, store.Record{Op: store.OpAlloc, SID: sess.ID, Primary: primary, Backups: backups})
 	s.reg.Counter("sessions_started").Inc()
 
 	switch {
@@ -486,6 +662,7 @@ func (s *Server) onPropagateLocked(u *unitState, msg PropagateCtx) {
 		if !u.db.UpdateContext(e.Session, e.Ctx, e.Stamp) {
 			continue
 		}
+		s.persistLocked(u, store.Record{Op: store.OpCtx, SID: e.Session, Ctx: e.Ctx, Stamp: e.Stamp})
 		if live := u.live[e.Session]; live != nil && live.role == roleBackup {
 			live.app.Sync(e.Ctx)
 		}
@@ -496,6 +673,7 @@ func (s *Server) onPropagateLocked(u *unitState, msg PropagateCtx) {
 
 func (s *Server) onSessionClosedLocked(u *unitState, sid ids.SessionID) {
 	u.db.Remove(sid)
+	s.persistLocked(u, store.Record{Op: store.OpClose, SID: sid})
 	delete(u.pendingStart, sid)
 	delete(u.pendingHandoffs, sid)
 	if live := u.live[sid]; live != nil {
@@ -504,21 +682,59 @@ func (s *Server) onSessionClosedLocked(u *unitState, sid ids.SessionID) {
 	s.reg.Counter("sessions_closed").Inc()
 }
 
-// onStateExchangeLocked collects snapshots; when every member of the
-// exchange's view has contributed, all members merge identically and
-// reallocate.
-func (s *Server) onStateExchangeLocked(u *unitState, from ids.EndpointID, msg StateExchange) {
+// onStateOfferLocked collects stamp vectors; once every member of the
+// exchange's view has offered, each member computes the records it alone
+// is responsible for shipping and multicasts them as its delta.
+func (s *Server) onStateOfferLocked(u *unitState, from ids.EndpointID, msg StateOffer) {
 	p, ok := from.Process()
 	if !ok || u.exch == nil || msg.ViewPV != u.exch.viewPV || msg.ViewN != u.exch.viewN {
 		return
 	}
-	snap, ok := msg.Snap.(unitdb.Snapshot)
-	if !ok {
+	if p != s.cfg.Self { // self-delivery is not network transfer
+		s.noteStateBytes("state_bytes_received", msg)
+	}
+	u.exch.offers[p] = msg.Offer
+	if u.exch.sentDelta {
 		return
 	}
-	u.exch.snaps[p] = snap
 	for _, m := range u.exch.members {
-		if _, have := u.exch.snaps[m]; !have {
+		if _, have := u.exch.offers[m]; !have {
+			return
+		}
+	}
+	u.exch.sentDelta = true
+	delta := StateDelta{
+		Unit: u.cfg.Unit, ViewPV: u.exch.viewPV, ViewN: u.exch.viewN,
+		Snap: u.db.DeltaFor(s.cfg.Self, u.exch.offers),
+	}
+	if debugExchange {
+		var sids []ids.SessionID
+		for _, sess := range delta.Snap.Sessions {
+			sids = append(sids, sess.ID)
+		}
+		fmt.Fprintf(os.Stderr, "XCHG p%d view=%v/%d delta sids=%v offers=%v\n",
+			s.cfg.Self, u.exch.viewPV, u.exch.viewN, sids, describeOffers(u.exch.offers))
+	}
+	s.noteStateBytes("state_bytes_sent", delta)
+	s.reg.Counter("state_sessions_sent").Add(uint64(len(delta.Snap.Sessions)))
+	_ = s.proc.Multicast(ContentGroup(u.cfg.Unit), delta)
+}
+
+// onStateDeltaLocked collects deltas; when every member's delta is in
+// (empty ones included — they are the barrier), all members merge
+// identically and reallocate.
+func (s *Server) onStateDeltaLocked(u *unitState, from ids.EndpointID, msg StateDelta) {
+	p, ok := from.Process()
+	if !ok || u.exch == nil || msg.ViewPV != u.exch.viewPV || msg.ViewN != u.exch.viewN {
+		return
+	}
+	if p != s.cfg.Self { // self-delivery is not network transfer
+		s.noteStateBytes("state_bytes_received", msg)
+		s.reg.Counter("state_sessions_received").Add(uint64(len(msg.Snap.Sessions)))
+	}
+	u.exch.deltas[p] = msg.Snap
+	for _, m := range u.exch.members {
+		if _, have := u.exch.deltas[m]; !have {
 			return
 		}
 	}
@@ -529,9 +745,30 @@ func (s *Server) onStateExchangeLocked(u *unitState, from ids.EndpointID, msg St
 		if m == s.cfg.Self {
 			continue
 		}
-		u.db.Merge(u.exch.snaps[m])
+		u.db.Merge(u.exch.deltas[m])
 	}
+	held := u.exch.heldProps
 	u.exch = nil
+	// Replay propagations deferred during the exchange. Every member holds
+	// the same ordered list and the same merged database, so the replay is
+	// identical everywhere.
+	for i := range held {
+		s.onPropagateLocked(u, held[i])
+	}
+	if u.needSync {
+		if len(members) == 1 && members[0] == s.cfg.Self {
+			// Still alone: nothing was reconciled. The recovered database
+			// stays passive — no reallocation, no self-promotion — until a
+			// view with a peer completes an exchange. A lone restarted
+			// server must not resurrect primaryship over sessions the rest
+			// of the group may have progressed while it was down.
+			return
+		}
+		u.needSync = false
+	}
+	// The merged state supersedes the log's view of the world; fold it
+	// into a checkpoint so recovery starts from the reconciled database.
+	s.checkpointLocked(u)
 	// Handoffs may have raced ahead of the exchange; apply them before
 	// drafting so Restore sees the freshest context.
 	s.flushPendingHandoffsLocked(u)
@@ -542,6 +779,7 @@ func (s *Server) onStateExchangeLocked(u *unitState, from ids.EndpointID, msg St
 	for sid, live := range u.live {
 		if rec := u.db.Get(sid); rec != nil && rec.Stamp > live.lastStamp {
 			live.lastStamp = rec.Stamp
+			live.lastSent = nil
 			live.app.Sync(rec.Context)
 		}
 	}
@@ -549,6 +787,14 @@ func (s *Server) onStateExchangeLocked(u *unitState, from ids.EndpointID, msg St
 	// migrating some sessions away from live primaries.
 	changes := u.db.ReallocateBalanced(members, u.cfg.Backups)
 	s.applyChangesLocked(u, changes)
+	if debugExchange {
+		var desc strings.Builder
+		for _, sess := range u.db.Sessions() {
+			fmt.Fprintf(&desc, "[%d prim=%d stamp=%d] ", sess.ID, sess.Primary, sess.Stamp)
+		}
+		fmt.Fprintf(os.Stderr, "XCHG p%d view=%v/%d merged -> %s\n",
+			s.cfg.Self, msg.ViewPV, msg.ViewN, desc.String())
+	}
 }
 
 func (s *Server) onSessionMsgLocked(u *unitState, sid ids.SessionID, ev gcs.MessageEvent) {
@@ -593,9 +839,12 @@ func (s *Server) onDirect(from ids.EndpointID, m wire.Message) {
 	if u == nil {
 		return
 	}
-	if u.db.Get(ho.Session) == nil {
-		// The direct handoff outran the ordered state exchange that will
-		// introduce this session here; hold it.
+	if u.exch != nil || u.db.Get(ho.Session) == nil {
+		// Either the direct handoff outran the ordered state exchange that
+		// will introduce this session here, or an exchange is in flight.
+		// Hold it: handoffs are unordered, and applying one mid-exchange
+		// would mutate a record the offers already described, breaking the
+		// designated-sender agreement.
 		u.pendingHandoffs[ho.Session] = ho
 		return
 	}
@@ -605,7 +854,9 @@ func (s *Server) onDirect(from ids.EndpointID, m wire.Message) {
 // applyHandoffLocked folds a handoff's context into the database and any
 // live replica.
 func (s *Server) applyHandoffLocked(u *unitState, ho Handoff) {
-	u.db.UpdateContext(ho.Session, ho.Ctx, ho.Stamp)
+	if u.db.UpdateContext(ho.Session, ho.Ctx, ho.Stamp) {
+		s.persistLocked(u, store.Record{Op: store.OpCtx, SID: ho.Session, Ctx: ho.Ctx, Stamp: ho.Stamp})
+	}
 	s.reg.Counter("handoffs_received").Inc()
 	live := u.live[ho.Session]
 	if live == nil {
@@ -613,6 +864,11 @@ func (s *Server) applyHandoffLocked(u *unitState, ho Handoff) {
 	}
 	if live.lastStamp < ho.Stamp {
 		live.lastStamp = ho.Stamp
+		// The handoff advanced our database past what the other replicas
+		// hold. Force the next propagation even if the bytes are unchanged,
+		// so every member's stamp catches up — otherwise the dirty-skip
+		// would freeze them one generation behind forever.
+		live.lastSent = nil
 	}
 	live.app.Sync(ho.Ctx)
 	if live.role == rolePrimary && live.resp != nil {
@@ -621,8 +877,13 @@ func (s *Server) applyHandoffLocked(u *unitState, ho Handoff) {
 }
 
 // flushPendingHandoffsLocked applies buffered handoffs whose sessions now
-// exist.
+// exist. During a state exchange everything stays buffered: handoffs are
+// unordered direct messages, and applying one mid-exchange would mutate
+// records the offers already described.
 func (s *Server) flushPendingHandoffsLocked(u *unitState) {
+	if u.exch != nil {
+		return
+	}
 	for sid, ho := range u.pendingHandoffs {
 		if u.db.Get(sid) == nil {
 			continue
@@ -643,6 +904,10 @@ func (s *Server) applyChangesLocked(u *unitState, changes []unitdb.Change) {
 		if sess == nil {
 			continue
 		}
+		s.persistLocked(u, store.Record{
+			Op: store.OpAlloc, SID: c.SessionID,
+			Primary: sess.Primary, Backups: sess.Backups,
+		})
 		live := u.live[c.SessionID]
 		inGroup := sess.InGroup(s.cfg.Self)
 
@@ -711,6 +976,7 @@ func (s *Server) draftLocked(u *unitState, sess *unitdb.Session) *liveSession {
 // promoteLocked makes this server the session's primary.
 func (s *Server) promoteLocked(u *unitState, live *liveSession, stamp uint64) {
 	live.role = rolePrimary
+	live.lastSent = nil // force a propagation under the new primaryship
 	live.resp = newResponder(s, u.cfg.Unit, live.sid, live.client, stamp)
 	live.app.Activate(live.resp)
 	s.reg.Counter("promotions").Inc()
@@ -813,6 +1079,14 @@ func (s *Server) propagationLoop() {
 // buildPropagationLocked snapshots every session this server is primary
 // for, and garbage-collects idle sessions.
 func (s *Server) buildPropagationLocked(u *unitState, now time.Time) wire.Message {
+	if u.exch != nil {
+		// A state exchange is a barrier. Propagating now would advance
+		// stamps past the maxima the offers recorded; every member's
+		// designated-sender computation would then find no holder of the
+		// winning record, nobody would ship it, and divergent replicas
+		// would stay divergent. Updates resume next tick, post-merge.
+		return nil
+	}
 	var entries []CtxEntry
 	for _, live := range u.live {
 		if live.role != rolePrimary {
@@ -822,10 +1096,19 @@ func (s *Server) buildPropagationLocked(u *unitState, now time.Time) wire.Messag
 			_ = s.proc.Multicast(ContentGroup(u.cfg.Unit), SessionClosed{Unit: u.cfg.Unit, Session: live.sid})
 			continue
 		}
+		snap := live.app.Snapshot()
+		if live.lastSent != nil && bytes.Equal(snap, live.lastSent) {
+			// Unchanged since the last propagation: skip the entry so the
+			// session's stamp freezes and rejoin deltas stay proportional
+			// to real change, not elapsed time.
+			s.reg.Counter("propagation_entries_skipped").Inc()
+			continue
+		}
 		live.lastStamp++
+		live.lastSent = append([]byte(nil), snap...)
 		entries = append(entries, CtxEntry{
 			Session: live.sid,
-			Ctx:     live.app.Snapshot(),
+			Ctx:     snap,
 			Stamp:   live.lastStamp,
 		})
 	}
@@ -896,6 +1179,15 @@ func (r *responder) bumpSeq(seq uint64) {
 	defer r.mu.Unlock()
 	if seq > r.seq {
 		r.seq = seq
+	}
+}
+
+// noteStateBytes accounts a state-exchange message's encoded size against
+// a direction counter. View changes are rare, so the extra encode is
+// cheap next to the transfer it measures.
+func (s *Server) noteStateBytes(counter string, m wire.Message) {
+	if b, err := wire.EncodeMessage(m); err == nil {
+		s.reg.Counter(counter).Add(uint64(len(b)))
 	}
 }
 

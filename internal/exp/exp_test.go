@@ -30,8 +30,8 @@ func TestByID(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	rs := Experiments()
-	if len(rs) != 12 {
-		t.Fatalf("registry has %d experiments, want 12", len(rs))
+	if len(rs) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {

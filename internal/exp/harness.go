@@ -4,12 +4,16 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
 	"hafw/internal/core"
 	"hafw/internal/ids"
 	"hafw/internal/metrics"
+	"hafw/internal/store"
 	"hafw/internal/trace"
 	"hafw/internal/transport/memnet"
 	"hafw/internal/wire"
@@ -180,6 +184,12 @@ type ClusterConfig struct {
 	Factory ServiceFactory
 	// NetConfig tunes the in-memory network.
 	NetConfig memnet.Config
+	// DataDir, if set, gives every server a durable store under
+	// DataDir/p<pid>, enabling StopServer/RestartServer crash-recovery
+	// experiments.
+	DataDir string
+	// Fsync is the store policy when DataDir is set.
+	Fsync store.Policy
 }
 
 // Cluster is a live framework deployment on an in-memory network.
@@ -246,6 +256,10 @@ func (c *Cluster) startServer(pid ids.ProcessID) error {
 		svc = led
 	}
 	reg := metrics.NewRegistry()
+	var dataDir string
+	if c.cfg.DataDir != "" {
+		dataDir = filepath.Join(c.cfg.DataDir, fmt.Sprintf("p%d", pid))
+	}
 	srv, err := core.NewServer(core.Config{
 		Self:      pid,
 		Transport: ep,
@@ -256,12 +270,15 @@ func (c *Cluster) startServer(pid ids.ProcessID) error {
 			Backups:           c.cfg.Backups,
 			PropagationPeriod: c.cfg.Propagation,
 		}},
-		Metrics:      reg,
-		Tracer:       c.Tracer,
-		FDInterval:   fdInterval,
-		FDTimeout:    fdTimeout,
-		RoundTimeout: roundTimeout,
-		AckInterval:  ackInterval,
+		Metrics:       reg,
+		Tracer:        c.Tracer,
+		FDInterval:    fdInterval,
+		FDTimeout:     fdTimeout,
+		RoundTimeout:  roundTimeout,
+		AckInterval:   ackInterval,
+		DataDir:       dataDir,
+		Fsync:         c.cfg.Fsync,
+		FsyncInterval: 10 * time.Millisecond,
 	})
 	if err != nil {
 		return err
@@ -330,6 +347,71 @@ func (c *Cluster) formed() bool {
 	return true
 }
 
+// WaitConverged blocks until every live server holds exactly `sessions`
+// sessions and all live databases have identical checksums.
+func (c *Cluster) WaitConverged(sessions int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.converged(sessions) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("exp: databases did not converge to %d sessions within %v:\n%s",
+				sessions, timeout, c.stateDump())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// stateDump renders every live server's per-session view, for convergence
+// failure messages.
+func (c *Cluster) stateDump() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b strings.Builder
+	for _, pid := range c.pids {
+		if c.Net.Crashed(ids.ProcessEndpoint(pid)) {
+			fmt.Fprintf(&b, "p%d: crashed\n", pid)
+			continue
+		}
+		srv := c.servers[pid]
+		if srv == nil {
+			fmt.Fprintf(&b, "p%d: stopped\n", pid)
+			continue
+		}
+		snap := srv.DBSnapshot(c.Unit)
+		fmt.Fprintf(&b, "p%d: members=%v", pid, srv.GroupMembers(core.ContentGroup(c.Unit)))
+		for _, s := range snap.Sessions {
+			fmt.Fprintf(&b, " [sid=%d prim=%d back=%v stamp=%d]", s.ID, s.Primary, s.Backups, s.Stamp)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func (c *Cluster) converged(sessions int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ref [32]byte
+	first := true
+	for _, pid := range c.pids {
+		if c.Net.Crashed(ids.ProcessEndpoint(pid)) {
+			continue
+		}
+		srv := c.servers[pid]
+		if srv == nil || srv.DBSessions(c.Unit) != sessions {
+			return false
+		}
+		cs := srv.DBChecksum(c.Unit)
+		if first {
+			ref, first = cs, false
+		} else if cs != ref {
+			return false
+		}
+	}
+	return !first
+}
+
 // Server returns a server by process ID.
 func (c *Cluster) Server(pid ids.ProcessID) *core.Server {
 	c.mu.Lock()
@@ -369,6 +451,39 @@ func (c *Cluster) Crash(pid ids.ProcessID) {
 func (c *Cluster) Revive(pid ids.ProcessID) {
 	c.Net.Revive(ids.ProcessEndpoint(pid))
 	c.Tracer.Record(pid, trace.KindRevive, 0, "injected")
+}
+
+// StopServer kills a server process outright: the network drops it first
+// (a crash, not a graceful leave), then the process is torn down. Its
+// data directory, if any, survives for RestartServer.
+func (c *Cluster) StopServer(pid ids.ProcessID) {
+	c.mu.Lock()
+	srv := c.servers[pid]
+	c.mu.Unlock()
+	c.Net.Crash(ids.ProcessEndpoint(pid))
+	c.Tracer.Record(pid, trace.KindCrash, 0, "stop")
+	if srv != nil {
+		srv.Stop()
+	}
+}
+
+// RestartServer relaunches a stopped server as a fresh process with the
+// same identity and data directory: with DataDir set it recovers its unit
+// database from disk and rejoins warm. The restarted server gets a fresh
+// metrics registry, so its counters measure only the rejoin.
+func (c *Cluster) RestartServer(pid ids.ProcessID) error {
+	c.Net.Revive(ids.ProcessEndpoint(pid))
+	c.Tracer.Record(pid, trace.KindRevive, 0, "restart")
+	return c.startServer(pid)
+}
+
+// WipeData deletes a stopped server's data directory, turning its next
+// RestartServer into a cold join.
+func (c *Cluster) WipeData(pid ids.ProcessID) error {
+	if c.cfg.DataDir == "" {
+		return nil
+	}
+	return os.RemoveAll(filepath.Join(c.cfg.DataDir, fmt.Sprintf("p%d", pid)))
 }
 
 // PrimaryOf asks the first live server for a session's primary.

@@ -98,6 +98,9 @@ func Experiments() []Runner {
 			}
 			return E12AutoConfig(13, trials), nil
 		}},
+		{ID: "E13", Name: "restart recovery time and rejoin transfer (live)", Run: func(quick bool) (Table, error) {
+			return E13RestartRecovery(quick)
+		}},
 	}
 }
 

@@ -47,6 +47,37 @@ func (a Revive) Apply(net *memnet.Network) { net.Revive(a.Target) }
 // Describe implements Action.
 func (a Revive) Describe() string { return "revive " + a.Target.String() }
 
+// Restart models a crash-with-disk restart: the target is crashed
+// immediately, and after Down the Relaunch callback runs (revive the
+// endpoint and bring the process back — typically recovering its data
+// directory). The relaunch happens on its own goroutine so the schedule
+// keeps firing during the downtime.
+type Restart struct {
+	// Target is the endpoint to crash.
+	Target ids.EndpointID
+	// Down is how long the process stays dead.
+	Down time.Duration
+	// Relaunch revives and restarts the process. It runs after Down on a
+	// background goroutine and is responsible for net.Revive itself (the
+	// harness's RestartServer does both).
+	Relaunch func()
+}
+
+// Apply implements Action.
+func (a Restart) Apply(net *memnet.Network) {
+	net.Crash(a.Target)
+	if a.Relaunch == nil {
+		return
+	}
+	go func() {
+		time.Sleep(a.Down)
+		a.Relaunch()
+	}()
+}
+
+// Describe implements Action.
+func (a Restart) Describe() string { return "restart " + a.Target.String() }
+
 // Partition splits endpoints into isolated sides.
 type Partition struct {
 	// Sides lists the mutually isolated groups.
@@ -115,6 +146,11 @@ func (s *Schedule) CrashAt(at time.Duration, target ids.EndpointID) *Schedule {
 // ReviveAt schedules a revival.
 func (s *Schedule) ReviveAt(at time.Duration, target ids.EndpointID) *Schedule {
 	return s.Add(at, Revive{Target: target})
+}
+
+// RestartAt schedules a crash-with-disk restart.
+func (s *Schedule) RestartAt(at time.Duration, target ids.EndpointID, down time.Duration, relaunch func()) *Schedule {
+	return s.Add(at, Restart{Target: target, Down: down, Relaunch: relaunch})
 }
 
 // PartitionAt schedules a partition.

@@ -1,0 +1,169 @@
+// Package transport_test verifies the Transport contract through memnet,
+// the reference implementation: Send/SetHandler semantics, the drop rule
+// for unbound endpoints, ErrClosed after Close, and re-attachment of a
+// previously closed endpoint (the mechanism behind server restart).
+package transport_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"hafw/internal/ids"
+	"hafw/internal/transport"
+	"hafw/internal/transport/memnet"
+	"hafw/internal/wire"
+)
+
+type note struct {
+	Text string
+}
+
+func (note) WireName() string { return "transport_test.note" }
+
+func init() { wire.Register(note{}) }
+
+func twoEndpoints(t *testing.T) (*memnet.Network, transport.Transport, transport.Transport) {
+	t.Helper()
+	net := memnet.New(memnet.Config{})
+	t.Cleanup(net.Close)
+	a, err := net.Attach(ids.ProcessEndpoint(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Attach(ids.ProcessEndpoint(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, a, b
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSelfIdentity(t *testing.T) {
+	_, a, b := twoEndpoints(t)
+	if a.Self() != ids.ProcessEndpoint(1) || b.Self() != ids.ProcessEndpoint(2) {
+		t.Fatalf("Self mismatch: %v, %v", a.Self(), b.Self())
+	}
+}
+
+func TestSendDeliversEnvelope(t *testing.T) {
+	_, a, b := twoEndpoints(t)
+	var mu sync.Mutex
+	var got []wire.Envelope
+	b.SetHandler(func(env wire.Envelope) {
+		mu.Lock()
+		got = append(got, env)
+		mu.Unlock()
+	})
+	if err := a.Send(b.Self(), note{Text: "hello"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return len(got) == 1 })
+	mu.Lock()
+	env := got[0]
+	mu.Unlock()
+	if env.From != a.Self() || env.To != b.Self() {
+		t.Errorf("envelope addressing = %v -> %v, want %v -> %v", env.From, env.To, a.Self(), b.Self())
+	}
+	if n, ok := env.Payload.(note); !ok || n.Text != "hello" {
+		t.Errorf("payload = %#v, want note{hello}", env.Payload)
+	}
+}
+
+// A Send to an endpoint with no handler installed is not a sender-side
+// error and must not wedge the destination: like datagrams to an unbound
+// port, pre-handler traffic is discarded (possibly after a short buffering
+// window) and the endpoint works normally once a handler appears.
+func TestNoHandlerIsNotAnError(t *testing.T) {
+	net, a, b := twoEndpoints(t)
+	for i := 0; i < 3; i++ {
+		if err := a.Send(b.Self(), note{Text: "early"}); err != nil {
+			t.Fatalf("send to handlerless endpoint errored: %v", err)
+		}
+	}
+	waitFor(t, func() bool { return net.Stats().Sent == 3 })
+	var mu sync.Mutex
+	var got []wire.Envelope
+	b.SetHandler(func(env wire.Envelope) {
+		mu.Lock()
+		got = append(got, env)
+		mu.Unlock()
+	})
+	if err := a.Send(b.Self(), note{Text: "late"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, env := range got {
+			if env.Payload.(note).Text == "late" {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func TestClosedSendFailsWithErrClosed(t *testing.T) {
+	_, a, b := twoEndpoints(t)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Send(b.Self(), note{Text: "x"})
+	if !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("Send after Close = %v, want ErrClosed", err)
+	}
+	// Close is idempotent enough for shutdown paths: a second Close must
+	// not panic (its error, if any, is implementation-defined).
+	_ = a.Close()
+}
+
+// Closing an endpoint frees its identity: the same endpoint ID can attach
+// again and receive traffic. Server restart with a durable store relies on
+// exactly this.
+func TestReattachAfterClose(t *testing.T) {
+	net, a, b := twoEndpoints(t)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := net.Attach(ids.ProcessEndpoint(2))
+	if err != nil {
+		t.Fatalf("re-attach after close: %v", err)
+	}
+	var mu sync.Mutex
+	var got []wire.Envelope
+	b2.SetHandler(func(env wire.Envelope) {
+		mu.Lock()
+		got = append(got, env)
+		mu.Unlock()
+	})
+	if err := a.Send(b2.Self(), note{Text: "again"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return len(got) == 1 })
+}
+
+// Unregistered payloads are rejected at Send time — the wire codec is the
+// transport's only value contract.
+func TestUnregisteredPayloadRejected(t *testing.T) {
+	_, a, b := twoEndpoints(t)
+	if err := a.Send(b.Self(), unregistered{}); err == nil {
+		t.Fatal("Send accepted an unregistered payload")
+	}
+}
+
+type unregistered struct{}
+
+func (unregistered) WireName() string { return "transport_test.unregistered" }

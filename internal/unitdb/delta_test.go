@@ -1,0 +1,189 @@
+package unitdb
+
+import (
+	"fmt"
+	"testing"
+
+	"hafw/internal/ids"
+)
+
+// exchange simulates the two-phase delta exchange among the given
+// databases and merges every delta into every database, returning the
+// total number of session records shipped.
+func exchange(t *testing.T, dbs map[ids.ProcessID]*DB) int {
+	t.Helper()
+	offers := make(map[ids.ProcessID]Offer, len(dbs))
+	for p, db := range dbs {
+		offers[p] = db.Offer()
+	}
+	deltas := make(map[ids.ProcessID]Snapshot, len(dbs))
+	shipped := 0
+	for p, db := range dbs {
+		deltas[p] = db.DeltaFor(p, offers)
+		shipped += len(deltas[p].Sessions)
+	}
+	for _, db := range dbs {
+		for _, d := range deltas {
+			db.Merge(d)
+		}
+	}
+	return shipped
+}
+
+// assertConverged fails unless every database has the same checksum, and
+// that checksum equals the result of a full-snapshot merge of the
+// pre-exchange states.
+func assertConverged(t *testing.T, dbs map[ids.ProcessID]*DB, want [32]byte) {
+	t.Helper()
+	for p, db := range dbs {
+		if got := db.Checksum(); got != want {
+			t.Fatalf("db of p%d diverged after delta exchange:\n got %x\nwant %x", p, got, want)
+		}
+	}
+}
+
+// fullMergeChecksum computes the reference post-state: every member merges
+// every member's full snapshot.
+func fullMergeChecksum(dbs map[ids.ProcessID]*DB) [32]byte {
+	var snaps []Snapshot
+	for _, db := range dbs {
+		snaps = append(snaps, db.Snapshot())
+	}
+	ref := New(snaps[0].Unit)
+	for _, s := range snaps {
+		ref.Merge(s)
+	}
+	return ref.Checksum()
+}
+
+func seededDB(unit ids.UnitName, sessions int) *DB {
+	db := New(unit)
+	members := []ids.ProcessID{1, 2, 3}
+	for i := 0; i < sessions; i++ {
+		s := db.CreateSession(ids.ClientID(100 + i))
+		db.Allocate(s.ID, members, 1)
+		db.UpdateContext(s.ID, []byte(fmt.Sprintf("ctx-%d", i)), 1)
+	}
+	return db
+}
+
+func clones(db *DB, pids ...ids.ProcessID) map[ids.ProcessID]*DB {
+	out := make(map[ids.ProcessID]*DB, len(pids))
+	snap := db.Snapshot()
+	for _, p := range pids {
+		cp := New(db.Unit)
+		cp.Restore(snap)
+		out[p] = cp
+	}
+	return out
+}
+
+func TestDeltaIdenticalReplicasShipNothing(t *testing.T) {
+	dbs := clones(seededDB("u", 8), 1, 2, 3)
+	want := fullMergeChecksum(dbs)
+	if shipped := exchange(t, dbs); shipped != 0 {
+		t.Fatalf("identical replicas shipped %d records, want 0", shipped)
+	}
+	assertConverged(t, dbs, want)
+}
+
+func TestDeltaColdJoinerGetsOneFullCopy(t *testing.T) {
+	dbs := clones(seededDB("u", 8), 1, 2)
+	dbs[3] = New("u") // cold joiner
+	want := fullMergeChecksum(dbs)
+	shipped := exchange(t, dbs)
+	if shipped != 8 {
+		t.Fatalf("cold join shipped %d records, want exactly one full copy (8)", shipped)
+	}
+	assertConverged(t, dbs, want)
+}
+
+func TestDeltaStaleRejoinerGetsOnlyChanged(t *testing.T) {
+	base := seededDB("u", 10)
+	dbs := clones(base, 1, 2, 3)
+	// Member 3 went away; 1 and 2 advanced two sessions and closed one.
+	for _, p := range []ids.ProcessID{1, 2} {
+		dbs[p].UpdateContext(1, []byte("fresh-1"), 9)
+		dbs[p].UpdateContext(2, []byte("fresh-2"), 9)
+		dbs[p].Remove(3)
+	}
+	want := fullMergeChecksum(dbs)
+	shipped := exchange(t, dbs)
+	if shipped != 2 {
+		t.Fatalf("stale rejoin shipped %d records, want 2 (only the changed sessions)", shipped)
+	}
+	assertConverged(t, dbs, want)
+	if dbs[3].Get(3) != nil || !dbs[3].Tombstoned(3) {
+		t.Fatal("rejoiner did not learn the close of session 3")
+	}
+}
+
+func TestDeltaTombstoneBeatsStaleRecord(t *testing.T) {
+	base := seededDB("u", 4)
+	dbs := clones(base, 1, 2, 3)
+	// 1 and 2 closed session 2 while 3 was partitioned away; 3 even has a
+	// fresher context for it. The close must still win everywhere.
+	dbs[1].Remove(2)
+	dbs[2].Remove(2)
+	dbs[3].UpdateContext(2, []byte("doomed-but-fresh"), 99)
+	want := fullMergeChecksum(dbs)
+	exchange(t, dbs)
+	assertConverged(t, dbs, want)
+	for p, db := range dbs {
+		if db.Get(2) != nil {
+			t.Fatalf("p%d resurrected closed session 2", p)
+		}
+	}
+}
+
+func TestDeltaDivergentEqualStampsConverge(t *testing.T) {
+	base := seededDB("u", 4)
+	dbs := clones(base, 1, 2, 3)
+	// Partitioned primaries advanced session 1 to the same stamp with
+	// different contexts; every max-stamp holder must ship its candidate.
+	dbs[1].UpdateContext(1, []byte("side-a"), 7)
+	dbs[2].UpdateContext(1, []byte("side-b"), 7)
+	want := fullMergeChecksum(dbs)
+	exchange(t, dbs)
+	assertConverged(t, dbs, want)
+}
+
+func TestDeltaMatchesFullExchangeRandomized(t *testing.T) {
+	// Drive three replicas through divergent histories and check the delta
+	// exchange always lands on the full-exchange post-state.
+	for seed := 0; seed < 20; seed++ {
+		base := seededDB("u", 6)
+		dbs := clones(base, 1, 2, 3)
+		r := uint64(seed)*2654435761 + 1
+		next := func(n uint64) uint64 { r = r*6364136223846793005 + 1442695040888963407; return r % n }
+		for op := 0; op < 12; op++ {
+			p := ids.ProcessID(1 + next(3))
+			sid := ids.SessionID(1 + next(6))
+			switch next(3) {
+			case 0:
+				dbs[p].UpdateContext(sid, []byte(fmt.Sprintf("s%d-%d", seed, op)), 2+next(8))
+			case 1:
+				dbs[p].Remove(sid)
+			case 2:
+				s := dbs[p].CreateSession(ids.ClientID(1000 + next(50)))
+				dbs[p].UpdateContext(s.ID, []byte("new"), 1)
+			}
+		}
+		want := fullMergeChecksum(dbs)
+		exchange(t, dbs)
+		assertConverged(t, dbs, want)
+	}
+}
+
+func TestPutAdvancesCounter(t *testing.T) {
+	db := New("u")
+	db.Put(Session{ID: 7, Client: 70})
+	if got := db.CreateSession(71).ID; got != 8 {
+		t.Fatalf("CreateSession after Put(7) = %d, want 8", got)
+	}
+	db.Remove(7)
+	db.Put(Session{ID: 7, Client: 70}) // tombstoned: must stay dead
+	if db.Get(7) != nil {
+		t.Fatal("Put resurrected a tombstoned session")
+	}
+}

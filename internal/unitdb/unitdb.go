@@ -81,12 +81,23 @@ type DB struct {
 	Unit ids.UnitName
 
 	sessions map[ids.SessionID]*Session
-	nextSID  uint64
+	// tombstones records removed session IDs. Session IDs are allocated
+	// from a monotone counter and never reused, so "session X was closed"
+	// is permanent truth; tombstones let merges (and rejoining replicas
+	// recovering a stale database from disk) distinguish "closed while you
+	// were away" from "never heard of it", instead of resurrecting closed
+	// sessions. They accumulate until PruneTombstones.
+	tombstones map[ids.SessionID]bool
+	nextSID    uint64
 }
 
 // New creates an empty database for a unit.
 func New(unit ids.UnitName) *DB {
-	return &DB{Unit: unit, sessions: make(map[ids.SessionID]*Session)}
+	return &DB{
+		Unit:       unit,
+		sessions:   make(map[ids.SessionID]*Session),
+		tombstones: make(map[ids.SessionID]bool),
+	}
 }
 
 // Len returns the number of live sessions.
@@ -108,9 +119,48 @@ func (db *DB) Get(sid ids.SessionID) *Session {
 	return db.sessions[sid]
 }
 
-// Remove deletes a session (client ended it, or it was abandoned).
+// Remove deletes a session (client ended it, or it was abandoned) and
+// leaves a tombstone so later merges cannot resurrect it.
 func (db *DB) Remove(sid ids.SessionID) {
 	delete(db.sessions, sid)
+	db.tombstones[sid] = true
+}
+
+// Put inserts (or replaces) a session record wholesale, advancing the ID
+// counter past it. It is the replay primitive used by the durable store's
+// recovery path; normal operation goes through CreateSession.
+func (db *DB) Put(s Session) {
+	if db.tombstones[s.ID] {
+		return
+	}
+	db.sessions[s.ID] = s.clone()
+	if uint64(s.ID) > db.nextSID {
+		db.nextSID = uint64(s.ID)
+	}
+}
+
+// Tombstoned reports whether a session was removed.
+func (db *DB) Tombstoned(sid ids.SessionID) bool { return db.tombstones[sid] }
+
+// TombstoneIDs returns all tombstoned session IDs, sorted.
+func (db *DB) TombstoneIDs() []ids.SessionID {
+	out := make([]ids.SessionID, 0, len(db.tombstones))
+	for t := range db.tombstones {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PruneTombstones drops tombstones for sessions with IDs below the given
+// bound (an operator/GC hook: once every replica that could still carry a
+// live record below the bound has merged, the tombstones are dead weight).
+func (db *DB) PruneTombstones(before ids.SessionID) {
+	for t := range db.tombstones {
+		if t < before {
+			delete(db.tombstones, t)
+		}
+	}
 }
 
 // Sessions returns all session records sorted by ID.
@@ -375,8 +425,13 @@ type Snapshot struct {
 	Unit ids.UnitName
 	// NextSID is the session-ID counter.
 	NextSID uint64
-	// Sessions holds the session records.
+	// Sessions holds the session records. A snapshot produced by DeltaFor
+	// is partial: it holds only the records the receiving members are
+	// missing or hold stale.
 	Sessions []Session
+	// Tombstones lists removed session IDs, so merging a snapshot can
+	// never resurrect a closed session.
+	Tombstones []ids.SessionID
 }
 
 // WireName implements wire.Message so snapshots can travel inside
@@ -387,7 +442,7 @@ func init() { wire.Register(Snapshot{}) }
 
 // Snapshot returns a deep copy of the database state.
 func (db *DB) Snapshot() Snapshot {
-	snap := Snapshot{Unit: db.Unit, NextSID: db.nextSID}
+	snap := Snapshot{Unit: db.Unit, NextSID: db.nextSID, Tombstones: db.TombstoneIDs()}
 	for _, s := range db.Sessions() {
 		snap.Sessions = append(snap.Sessions, *s.clone())
 	}
@@ -402,6 +457,10 @@ func (db *DB) Restore(snap Snapshot) {
 	for i := range snap.Sessions {
 		s := snap.Sessions[i].clone()
 		db.sessions[s.ID] = s
+	}
+	db.tombstones = make(map[ids.SessionID]bool, len(snap.Tombstones))
+	for _, t := range snap.Tombstones {
+		db.tombstones[t] = true
 	}
 }
 
@@ -418,8 +477,17 @@ func (db *DB) Merge(snap Snapshot) {
 	if snap.NextSID > db.nextSID {
 		db.nextSID = snap.NextSID
 	}
+	// Tombstones beat any record, in any merge order: a closed session
+	// never comes back.
+	for _, t := range snap.Tombstones {
+		db.tombstones[t] = true
+		delete(db.sessions, t)
+	}
 	for i := range snap.Sessions {
 		in := &snap.Sessions[i]
+		if db.tombstones[in.ID] {
+			continue
+		}
 		cur, ok := db.sessions[in.ID]
 		if !ok {
 			db.sessions[in.ID] = in.clone()
@@ -444,7 +512,13 @@ func preferSession(candidate, current *Session) bool {
 	if candidate.Primary != current.Primary {
 		return candidate.Primary < current.Primary
 	}
-	return compareProcs(candidate.Backups, current.Backups) < 0
+	if c := compareProcs(candidate.Backups, current.Backups); c != 0 {
+		return c < 0
+	}
+	// Client completes the total order: sessions created concurrently in
+	// disjoint partitions can collide on every field above while belonging
+	// to different clients.
+	return candidate.Client < current.Client
 }
 
 func compareBytes(a, b []byte) int {
@@ -503,6 +577,10 @@ func (db *DB) Checksum() [32]byte {
 	}
 	h.Write([]byte(db.Unit))
 	put(db.nextSID)
+	put(uint64(len(db.tombstones)))
+	for _, t := range db.TombstoneIDs() {
+		put(uint64(t))
+	}
 	for _, s := range db.Sessions() {
 		put(uint64(s.ID))
 		put(uint64(s.Client))
