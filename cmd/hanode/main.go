@@ -23,6 +23,7 @@ import (
 
 	"hafw/internal/core"
 	"hafw/internal/ids"
+	"hafw/internal/loadgen"
 	"hafw/internal/metrics"
 	"hafw/internal/services/vod"
 	"hafw/internal/store"
@@ -35,6 +36,7 @@ func main() {
 		listen  = flag.String("listen", "", "TCP listen address (required)")
 		peers   = flag.String("peers", "", "comma-separated id=addr peer list, including self")
 		unit    = flag.String("unit", "big-buck-bunny", "movie (content unit) to serve")
+		service = flag.String("service", "vod", "service to run: vod (streaming movie) or echo (loadgen measurement target)")
 		backups = flag.Int("backups", 1, "backup servers per session (the paper's B)")
 		prop    = flag.Duration("propagation", 500*time.Millisecond, "context propagation period (the paper's T)")
 		fps     = flag.Float64("fps", 24, "movie frame rate")
@@ -66,8 +68,18 @@ func main() {
 		log.Fatalf("transport: %v", err)
 	}
 
-	movie := vod.DefaultMovie(ids.UnitName(*unit))
-	movie.FPS = *fps
+	unitName := ids.UnitName(*unit)
+	var svc core.Service
+	switch *service {
+	case "vod":
+		movie := vod.DefaultMovie(unitName)
+		movie.FPS = *fps
+		svc = vod.New(movie, vod.MPEGPolicy)
+	case "echo":
+		svc = loadgen.NewEchoService()
+	default:
+		log.Fatalf("unknown -service %q (want vod or echo)", *service)
+	}
 	reg := metrics.NewRegistry()
 	srv, err := core.NewServer(core.Config{
 		Self:      ids.ProcessID(*id),
@@ -76,8 +88,8 @@ func main() {
 		DataDir:   *dataDir,
 		Fsync:     fsyncPolicy,
 		Units: []core.UnitConfig{{
-			Unit:              movie.Name,
-			Service:           vod.New(movie, vod.MPEGPolicy),
+			Unit:              unitName,
+			Service:           svc,
 			Backups:           *backups,
 			PropagationPeriod: *prop,
 			IdleTimeout:       time.Minute,
@@ -94,7 +106,7 @@ func main() {
 	if *dataDir != "" {
 		durability = fmt.Sprintf("durable at %s, fsync=%s", *dataDir, *fsync)
 	}
-	log.Printf("hanode p%d serving %q (B=%d, T=%v, %s) on %s", *id, *unit, *backups, *prop, durability, tr.Addr())
+	log.Printf("hanode p%d serving %q (%s service, B=%d, T=%v, %s) on %s", *id, *unit, *service, *backups, *prop, durability, tr.Addr())
 
 	if *stats > 0 {
 		go func() {

@@ -8,6 +8,7 @@ import (
 
 	"hafw/internal/gcs"
 	"hafw/internal/ids"
+	"hafw/internal/metrics"
 	"hafw/internal/transport"
 	"hafw/internal/wire"
 )
@@ -44,6 +45,39 @@ type ClientConfig struct {
 	OnResponseFrom func(from ids.EndpointID, session ids.SessionID, seq uint64, body wire.Message)
 }
 
+// Client metric names, recorded in the per-client registry (see Stats).
+const (
+	mCalls      = "client.calls"       // ListUnits/StartSession/EndSession invocations
+	mSends      = "client.sends"       // session Send invocations
+	mRetries    = "client.retries"     // extra call attempts after an attempt timeout
+	mTimeouts   = "client.timeouts"    // calls that exhausted retries (ErrTimeout)
+	mReresolves = "client.re_resolves" // membership cache invalidations forcing a re-resolve
+	mResponses  = "client.responses"   // session responses delivered
+	mSendErrors = "client.send_errors" // group sends that failed outright (no servers)
+)
+
+// ClientStats is a point-in-time snapshot of a client's request-path
+// counters. Loadgen aggregates these across its driver fleet; they are
+// equally useful standalone for diagnosing a flapping deployment.
+type ClientStats struct {
+	// Calls counts ListUnits, StartSession and EndSession invocations.
+	Calls uint64 `json:"calls"`
+	// Sends counts session Send invocations.
+	Sends uint64 `json:"sends"`
+	// Retries counts extra call attempts made after an attempt timed out.
+	Retries uint64 `json:"retries"`
+	// Timeouts counts calls that exhausted their retries (ErrTimeout).
+	Timeouts uint64 `json:"timeouts"`
+	// Reresolves counts membership cache invalidations, each forcing the
+	// next group send to re-ask a bootstrap server for the membership.
+	Reresolves uint64 `json:"re_resolves"`
+	// Responses counts session responses delivered to handlers.
+	Responses uint64 `json:"responses"`
+	// SendErrors counts group sends that failed outright (no reachable
+	// servers for the group).
+	SendErrors uint64 `json:"send_errors"`
+}
+
 // Client is a framework service client. It addresses the service, content
 // and session groups abstractly; server failures, migrations and
 // reconfigurations are invisible to it except as brief response gaps — the
@@ -51,6 +85,7 @@ type ClientConfig struct {
 type Client struct {
 	cfg ClientConfig
 	g   *gcs.Client
+	reg *metrics.Registry
 
 	mu        sync.Mutex
 	unitWait  []chan UnitList
@@ -69,6 +104,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	c := &Client{
 		cfg:       cfg,
+		reg:       metrics.NewRegistry(),
 		startWait: make(map[ids.UnitName][]chan SessionStarted),
 		endWait:   make(map[ids.SessionID][]chan struct{}),
 		sessions:  make(map[ids.SessionID]*ClientSession),
@@ -95,6 +131,29 @@ func (c *Client) Self() ids.ClientID { return c.cfg.Self }
 // Endpoint returns the client's endpoint identifier.
 func (c *Client) Endpoint() ids.EndpointID { return ids.ClientEndpoint(c.cfg.Self) }
 
+// Metrics returns the client's private metrics registry.
+func (c *Client) Metrics() *metrics.Registry { return c.reg }
+
+// Stats snapshots the client's request-path counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Calls:      c.reg.Counter(mCalls).Value(),
+		Sends:      c.reg.Counter(mSends).Value(),
+		Retries:    c.reg.Counter(mRetries).Value(),
+		Timeouts:   c.reg.Counter(mTimeouts).Value(),
+		Reresolves: c.reg.Counter(mReresolves).Value(),
+		Responses:  c.reg.Counter(mResponses).Value(),
+		SendErrors: c.reg.Counter(mSendErrors).Value(),
+	}
+}
+
+// invalidate drops the cached membership for g, counting the re-resolve
+// the next send will perform.
+func (c *Client) invalidate(g ids.GroupName) {
+	c.reg.Counter(mReresolves).Inc()
+	c.g.Invalidate(g)
+}
+
 func (c *Client) onMessage(from ids.EndpointID, m wire.Message) {
 	switch msg := m.(type) {
 	case UnitList:
@@ -106,11 +165,21 @@ func (c *Client) onMessage(from ids.EndpointID, m wire.Message) {
 			w <- msg
 		}
 	case SessionStarted:
+		// Pop exactly one waiter: each SessionStarted names a distinct
+		// session, so handing it to every waiter would alias concurrent
+		// StartSession calls onto one session.
 		c.mu.Lock()
-		ws := c.startWait[msg.Unit]
-		delete(c.startWait, msg.Unit)
+		var w chan SessionStarted
+		if ws := c.startWait[msg.Unit]; len(ws) > 0 {
+			w = ws[0]
+			if len(ws) == 1 {
+				delete(c.startWait, msg.Unit)
+			} else {
+				c.startWait[msg.Unit] = ws[1:]
+			}
+		}
 		c.mu.Unlock()
-		for _, w := range ws {
+		if w != nil {
 			w <- msg
 		}
 	case SessionEnded:
@@ -122,6 +191,7 @@ func (c *Client) onMessage(from ids.EndpointID, m wire.Message) {
 			close(w)
 		}
 	case Response:
+		c.reg.Counter(mResponses).Inc()
 		if c.cfg.OnResponseFrom != nil {
 			c.cfg.OnResponseFrom(from, msg.Session, msg.Seq, msg.Body)
 		}
@@ -136,13 +206,18 @@ func (c *Client) onMessage(from ids.EndpointID, m wire.Message) {
 
 // ListUnits asks the service group for the available content units.
 func (c *Client) ListUnits() ([]UnitInfo, error) {
+	c.reg.Counter(mCalls).Inc()
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			c.reg.Counter(mRetries).Inc()
+		}
 		ch := make(chan UnitList, 1)
 		c.mu.Lock()
 		c.unitWait = append(c.unitWait, ch)
 		c.mu.Unlock()
-		c.g.Invalidate(ServiceGroup)
+		c.invalidate(ServiceGroup)
 		if err := c.g.SendToGroup(ServiceGroup, ListUnits{}); err != nil {
+			c.reg.Counter(mSendErrors).Inc()
 			return nil, err
 		}
 		select {
@@ -151,6 +226,7 @@ func (c *Client) ListUnits() ([]UnitInfo, error) {
 		case <-time.After(c.cfg.RequestTimeout):
 		}
 	}
+	c.reg.Counter(mTimeouts).Inc()
 	return nil, fmt.Errorf("%w: ListUnits", ErrTimeout)
 }
 
@@ -180,13 +256,18 @@ func (c *Client) WaitUnit(unit ids.UnitName, replicas int, timeout time.Duration
 // StartSession opens a session on a content unit. The handler receives the
 // session's response stream; it may be nil for request-free probing.
 func (c *Client) StartSession(unit ids.UnitName, h ResponseHandler) (*ClientSession, error) {
+	c.reg.Counter(mCalls).Inc()
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			c.reg.Counter(mRetries).Inc()
+		}
 		ch := make(chan SessionStarted, 1)
 		c.mu.Lock()
 		c.startWait[unit] = append(c.startWait[unit], ch)
 		c.mu.Unlock()
-		c.g.Invalidate(ContentGroup(unit))
+		c.invalidate(ContentGroup(unit))
 		if err := c.g.SendToGroup(ContentGroup(unit), StartSession{Unit: unit}); err != nil {
+			c.reg.Counter(mSendErrors).Inc()
 			return nil, fmt.Errorf("start session on %s: %w", unit, err)
 		}
 		select {
@@ -203,9 +284,28 @@ func (c *Client) StartSession(unit ids.UnitName, h ResponseHandler) (*ClientSess
 			c.mu.Unlock()
 			return sess, nil
 		case <-time.After(c.cfg.RequestTimeout):
+			c.dropStartWaiter(unit, ch)
 		}
 	}
+	c.reg.Counter(mTimeouts).Inc()
 	return nil, fmt.Errorf("%w: StartSession(%s)", ErrTimeout, unit)
+}
+
+// dropStartWaiter removes a timed-out StartSession waiter so it cannot
+// steal a later caller's SessionStarted.
+func (c *Client) dropStartWaiter(unit ids.UnitName, ch chan SessionStarted) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := c.startWait[unit]
+	for i, w := range ws {
+		if w == ch {
+			c.startWait[unit] = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(c.startWait[unit]) == 0 {
+		delete(c.startWait, unit)
+	}
 }
 
 // ClientSession is an open session from the client's point of view: a
@@ -237,22 +337,32 @@ func (s *ClientSession) deliver(seq uint64, body wire.Message) {
 // GCS's open-group machinery delivers it to the primary and every backup
 // regardless of membership changes.
 func (s *ClientSession) Send(body wire.Message) error {
-	s.c.g.Invalidate(s.Group)
-	return s.c.g.SendToGroup(s.Group, ClientRequest{Session: s.ID, Body: body})
+	s.c.reg.Counter(mSends).Inc()
+	s.c.invalidate(s.Group)
+	err := s.c.g.SendToGroup(s.Group, ClientRequest{Session: s.ID, Body: body})
+	if err != nil {
+		s.c.reg.Counter(mSendErrors).Inc()
+	}
+	return err
 }
 
 // End closes the session, waiting for the service's confirmation
 // (best-effort: after retries the session is dropped locally regardless,
 // and the server's idle timeout eventually collects it).
 func (s *ClientSession) End() error {
+	s.c.reg.Counter(mCalls).Inc()
 	var err error
 	for attempt := 0; attempt <= s.c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			s.c.reg.Counter(mRetries).Inc()
+		}
 		ch := make(chan struct{})
 		s.c.mu.Lock()
 		s.c.endWait[s.ID] = append(s.c.endWait[s.ID], ch)
 		s.c.mu.Unlock()
-		s.c.g.Invalidate(s.Group)
+		s.c.invalidate(s.Group)
 		if err = s.c.g.SendToGroup(s.Group, EndSession{Session: s.ID}); err != nil {
+			s.c.reg.Counter(mSendErrors).Inc()
 			break
 		}
 		select {
@@ -262,6 +372,9 @@ func (s *ClientSession) End() error {
 		case <-time.After(s.c.cfg.RequestTimeout):
 			err = fmt.Errorf("%w: EndSession(%d)", ErrTimeout, s.ID)
 		}
+	}
+	if err != nil && errors.Is(err, ErrTimeout) {
+		s.c.reg.Counter(mTimeouts).Inc()
 	}
 done:
 	s.c.mu.Lock()

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hafw/internal/ids"
+)
+
+// TestConcurrentClientsAcrossViewChange hammers the cluster with many
+// goroutines — several per shared client — doing StartSession/Send/End
+// while a server crashes mid-run. It is primarily a race-detector test
+// (client session-start waiters, metrics counters, resolver cache under
+// invalidation), but it also checks that sessions keep completing after
+// the view change and that the per-client counters stay coherent.
+func TestConcurrentClientsAcrossViewChange(t *testing.T) {
+	w := newWorld(t, 3, 1, 50*time.Millisecond)
+	w.waitReady()
+
+	const (
+		nClients    = 4
+		perClient   = 3 // goroutines sharing one client
+		updatesEach = 3
+	)
+	clients := make([]*Client, nClients)
+	for i := range clients {
+		clients[i] = w.newClient(ids.ClientID(200 + i))
+	}
+
+	var (
+		started   atomic.Int64 // sessions successfully started
+		ended     atomic.Int64 // sessions successfully ended
+		postCrash atomic.Int64 // sessions started after the crash
+		crashed   atomic.Bool
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+	)
+	worker := func(c *Client, id int) {
+		defer wg.Done()
+		for n := 0; ; n++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sess, err := c.StartSession(unitU, nil)
+			if err != nil {
+				// Start can time out while the view change is settling;
+				// that is load-shedding, not corruption. Back off and retry.
+				time.Sleep(20 * time.Millisecond)
+				continue
+			}
+			started.Add(1)
+			if crashed.Load() {
+				postCrash.Add(1)
+			}
+			for j := 0; j < updatesEach; j++ {
+				_ = sess.Send(updReq{S: fmt.Sprintf("w%d-%d-%d", id, n, j)})
+			}
+			if err := sess.End(); err == nil {
+				ended.Add(1)
+			}
+		}
+	}
+	for i, c := range clients {
+		for g := 0; g < perClient; g++ {
+			wg.Add(1)
+			go worker(c, i*perClient+g)
+		}
+	}
+
+	// Let traffic build, then kill a server to force a view change and
+	// session takeovers while every goroutine keeps going.
+	waitFor(t, 30*time.Second, func() bool { return started.Load() >= 10 },
+		"pre-crash sessions started")
+	w.net.Crash(ids.ProcessEndpoint(w.pids[0]))
+	crashed.Store(true)
+
+	// The surviving majority must keep serving new sessions.
+	waitFor(t, 30*time.Second, func() bool { return postCrash.Load() >= 10 },
+		"post-crash sessions started")
+	close(stop)
+	wg.Wait()
+
+	if started.Load() == 0 || ended.Load() == 0 {
+		t.Fatalf("started=%d ended=%d: no sessions completed", started.Load(), ended.Load())
+	}
+	// Client counters must be coherent with what the workers observed:
+	// every successful StartSession and End was a call, and the crash
+	// window forces at least some retries or re-resolves in aggregate.
+	var total ClientStats
+	for _, c := range clients {
+		s := c.Stats()
+		total.Calls += s.Calls
+		total.Sends += s.Sends
+		total.Retries += s.Retries
+		total.Timeouts += s.Timeouts
+		total.Reresolves += s.Reresolves
+		total.SendErrors += s.SendErrors
+	}
+	minCalls := started.Load() + ended.Load()
+	if total.Calls < uint64(minCalls) {
+		t.Errorf("stats report %d calls, but workers completed at least %d", total.Calls, minCalls)
+	}
+	if total.Sends == 0 {
+		t.Error("stats report zero update sends")
+	}
+	t.Logf("sessions: %d started (%d post-crash), %d ended; client stats: %+v",
+		started.Load(), postCrash.Load(), ended.Load(), total)
+}

@@ -30,8 +30,8 @@ func TestByID(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	rs := Experiments()
-	if len(rs) != 13 {
-		t.Fatalf("registry has %d experiments, want 13", len(rs))
+	if len(rs) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {
@@ -304,5 +304,46 @@ func TestE11Live(t *testing.T) {
 	}
 	if tb.Rows[1][1] != "0" {
 		t.Errorf("frames lost in the VoD instance\n%s", tb)
+	}
+}
+
+func TestE14Live(t *testing.T) {
+	tb, err := E14Capacity(true)
+	if err != nil {
+		t.Fatalf("E14: %v\n%s", err, tb)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		thr := mustParseFloat(row[3])
+		if thr <= 0 {
+			t.Errorf("no throughput measured: %v\n%s", row, tb)
+		}
+		// Normally zero; tolerate the ≤1% that a contention-induced view
+		// change on a loaded CI machine can cost (quick cells run 1.5s).
+		if errs := mustParseFloat(row[6]); errs > thr*1.5/100 {
+			t.Errorf("capacity cell reported errors: %v\n%s", row, tb)
+		}
+	}
+}
+
+func TestE15Live(t *testing.T) {
+	tb, err := E15FailoverLatency(true)
+	if err != nil {
+		t.Fatalf("E15: %v\n%s", err, tb)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Both phases may lose only the in-flight window (a tiny fraction of
+	// throughput · duration): the crash loses requests racing the takeover,
+	// and race-detector overhead can push the odd baseline request past its
+	// timeout. Anything beyond ~2% means takeover did not keep the service up.
+	for i, phase := range []string{"fault-free", "crash"} {
+		sentApprox := mustParseFloat(tb.Rows[i][1]) * 2.5
+		if lost := mustParseFloat(tb.Rows[i][6]); sentApprox > 0 && lost > sentApprox/50 {
+			t.Errorf("%s run lost %v of ≈%v requests (>2%%)\n%s", phase, lost, sentApprox, tb)
+		}
 	}
 }

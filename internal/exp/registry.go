@@ -101,6 +101,8 @@ func Experiments() []Runner {
 		{ID: "E13", Name: "restart recovery time and rejoin transfer (live)", Run: func(quick bool) (Table, error) {
 			return E13RestartRecovery(quick)
 		}},
+		{ID: "E14", Name: "capacity vs. server count and backups (live load)", Run: E14Capacity},
+		{ID: "E15", Name: "latency under primary failover mid-load (live load)", Run: E15FailoverLatency},
 	}
 }
 

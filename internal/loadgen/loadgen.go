@@ -1,0 +1,296 @@
+// Package loadgen is the workload-generation and capacity-measurement
+// subsystem: it drives configurable session mixes (open-loop Poisson or
+// closed-loop think-time arrivals; Zipf unit hot-spotting; session length
+// and request size distributions) from a fleet of concurrent framework
+// clients against either an in-process memnet cluster or a real hanode
+// deployment over TCP, and records per-request latency at sub-bucket
+// histogram resolution, throughput, error counts, and per-server
+// primary-load skew. Results export as the machine-readable
+// BENCH_loadgen.json schema so successive revisions have a comparable
+// performance trajectory; experiments E14/E15 build their capacity and
+// failover measurements on it.
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hafw/internal/core"
+	"hafw/internal/ids"
+	"hafw/internal/wire"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Target is the deployment to drive (required).
+	Target Target
+	// Clients is the driver fleet size. Zero means 16.
+	Clients int
+	// Duration is the measurement window. Zero means 10s. Sessions open
+	// at the deadline drain briefly (bounded by Workload.ReqTimeout)
+	// before the run reports.
+	Duration time.Duration
+	// Workload is the session mix every driver runs.
+	Workload Workload
+	// Seed makes the workload randomness reproducible. Zero means 1.
+	Seed int64
+	// InjectAfter, with Inject, schedules one fault injection (e.g. a
+	// server crash) this long into the run. Zero disables.
+	InjectAfter time.Duration
+	// Inject is the fault to inject.
+	Inject func()
+}
+
+// Run drives the configured workload and reports the measurements.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Target == nil {
+		return nil, fmt.Errorf("loadgen: Config.Target is required")
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 16
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	cfg.Workload = cfg.Workload.withDefaults()
+	if err := cfg.Workload.validate(); err != nil {
+		return nil, err
+	}
+	units := cfg.Target.Units()
+	if len(units) == 0 {
+		return nil, fmt.Errorf("loadgen: target has no content units")
+	}
+
+	rec := NewRecorder()
+	drivers := make([]*driver, cfg.Clients)
+	for i := range drivers {
+		c, err := cfg.Target.NewClient(rec.from)
+		if err != nil {
+			for _, d := range drivers[:i] {
+				d.c.Close()
+			}
+			return nil, fmt.Errorf("loadgen: client %d: %w", i, err)
+		}
+		drivers[i] = &driver{
+			c:       c,
+			rec:     rec,
+			smp:     newSampler(cfg.Workload, cfg.Seed, i, len(units)),
+			w:       cfg.Workload,
+			units:   units,
+			pending: make(map[uint64]*pendingReq),
+		}
+	}
+
+	stop := make(chan struct{})
+	if cfg.InjectAfter > 0 && cfg.Inject != nil {
+		go func() {
+			select {
+			case <-time.After(cfg.InjectAfter):
+				cfg.Inject()
+			case <-stop:
+			}
+		}()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, d := range drivers {
+		wg.Add(1)
+		go func(d *driver) {
+			defer wg.Done()
+			d.run(stop)
+		}(d)
+	}
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var totals core.ClientStats
+	for _, d := range drivers {
+		st := d.c.Stats()
+		totals.Calls += st.Calls
+		totals.Sends += st.Sends
+		totals.Retries += st.Retries
+		totals.Timeouts += st.Timeouts
+		totals.Reresolves += st.Reresolves
+		totals.Responses += st.Responses
+		totals.SendErrors += st.SendErrors
+		d.c.Close()
+	}
+	return buildResult(cfg, rec, totals, elapsed), nil
+}
+
+// pendingReq is one in-flight request awaiting its echo.
+type pendingReq struct {
+	at   time.Time
+	done chan struct{}
+}
+
+// driver is one load-generating client: it opens sessions on sampled
+// units and runs the arrival process until the run stops.
+type driver struct {
+	c     *core.Client
+	rec   *Recorder
+	smp   *sampler
+	w     Workload
+	units []ids.UnitName
+
+	mu      sync.Mutex
+	pending map[uint64]*pendingReq
+	seq     uint64
+}
+
+func (d *driver) run(stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		d.runSession(stop)
+	}
+}
+
+// handler consumes one session's response stream. Sequence numbers are
+// per-driver monotonic, so a single handler serves every session.
+func (d *driver) handler(_ uint64, body wire.Message) {
+	resp, ok := body.(EchoResp)
+	if !ok {
+		return
+	}
+	d.mu.Lock()
+	p, live := d.pending[resp.Seq]
+	if live {
+		delete(d.pending, resp.Seq)
+	}
+	d.mu.Unlock()
+	if !live {
+		// Already answered: a takeover primary legitimately resends its
+		// uncertainty window (paper §4).
+		d.rec.duplicates.Inc()
+		return
+	}
+	d.rec.response(time.Since(p.at))
+	close(p.done)
+}
+
+func (d *driver) runSession(stop <-chan struct{}) {
+	unit := d.units[d.smp.unit()]
+	t0 := time.Now()
+	sess, err := d.c.StartSession(unit, d.handler)
+	if err != nil {
+		d.rec.startErrs.Inc()
+		sleepOrStop(100*time.Millisecond, stop)
+		return
+	}
+	d.rec.StartLatency.Observe(time.Since(t0))
+	d.rec.sessions.Inc()
+
+	n := d.smp.sessionLen()
+	next := time.Now()
+loop:
+	for i := 0; i < n; i++ {
+		select {
+		case <-stop:
+			break loop
+		default:
+		}
+		switch d.w.Arrival {
+		case ArrivalOpen:
+			// Poisson schedule, independent of outstanding responses.
+			next = next.Add(d.smp.interarrival())
+			if !sleepUntil(next, stop) {
+				break loop
+			}
+			d.send(sess)
+		default: // closed loop
+			p := d.send(sess)
+			if p != nil {
+				select {
+				case <-p.done:
+				case <-time.After(d.w.ReqTimeout):
+					// Slow, not yet lost: the echo may still arrive and
+					// record its true latency; session drain settles it.
+				case <-stop:
+					break loop
+				}
+			}
+			if !sleepOrStop(d.smp.think(), stop) {
+				break loop
+			}
+		}
+	}
+	d.drain()
+	if err := sess.End(); err != nil {
+		d.rec.endErrs.Inc()
+	}
+}
+
+// send issues one request, registering it as pending. It returns nil when
+// the send failed outright.
+func (d *driver) send(sess *core.ClientSession) *pendingReq {
+	d.mu.Lock()
+	d.seq++
+	seq := d.seq
+	p := &pendingReq{at: time.Now(), done: make(chan struct{})}
+	d.pending[seq] = p
+	d.mu.Unlock()
+	d.rec.sent.Inc()
+	if err := sess.Send(EchoReq{Seq: seq, Pad: make([]byte, d.smp.reqBytes())}); err != nil {
+		d.rec.sendErrs.Inc()
+		d.mu.Lock()
+		delete(d.pending, seq)
+		d.mu.Unlock()
+		return nil
+	}
+	return p
+}
+
+// drain gives in-flight requests up to ReqTimeout to complete, then counts
+// the survivors as unanswered (the open-loop loss signal).
+func (d *driver) drain() {
+	deadline := time.Now().Add(d.w.ReqTimeout)
+	for {
+		d.mu.Lock()
+		outstanding := len(d.pending)
+		d.mu.Unlock()
+		if outstanding == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	d.mu.Lock()
+	lost := uint64(len(d.pending))
+	d.pending = make(map[uint64]*pendingReq)
+	d.mu.Unlock()
+	d.rec.unanswered.Add(lost)
+}
+
+// sleepOrStop sleeps for dur; it returns false if stop fired first.
+func sleepOrStop(dur time.Duration, stop <-chan struct{}) bool {
+	if dur <= 0 {
+		return true
+	}
+	t := time.NewTimer(dur)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// sleepUntil sleeps until the absolute deadline; it returns false if stop
+// fired first.
+func sleepUntil(at time.Time, stop <-chan struct{}) bool {
+	return sleepOrStop(time.Until(at), stop)
+}

@@ -1,0 +1,252 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hafw/internal/ids"
+)
+
+// newTestTarget brings up a small memnet cluster, torn down with the test.
+func newTestTarget(t *testing.T, cfg MemnetConfig) *MemnetTarget {
+	t.Helper()
+	target, err := NewMemnetTarget(cfg)
+	if err != nil {
+		t.Fatalf("NewMemnetTarget: %v", err)
+	}
+	t.Cleanup(target.Close)
+	return target
+}
+
+func TestClosedLoopRun(t *testing.T) {
+	target := newTestTarget(t, MemnetConfig{Servers: 3, Backups: 1, Units: 2})
+	res, err := Run(Config{
+		Target:   target,
+		Clients:  8,
+		Duration: 1500 * time.Millisecond,
+		Workload: Workload{
+			Arrival:    ArrivalClosed,
+			Think:      time.Millisecond,
+			SessionLen: 40,
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// A loaded CI machine can stretch the aggressive FD timers into a
+	// spurious view change mid-run; the takeover keeps the service up, so
+	// tolerate the same ≤1% error fraction the fault-injection test allows.
+	if res.Errors.Total*100 > res.Requests.Sent {
+		t.Errorf("errors = %+v of %d sent (>1%%)\n%s", res.Errors, res.Requests.Sent, res.Summary())
+	}
+	if res.Requests.OK == 0 || res.Latency.Count == 0 {
+		t.Fatalf("no answered requests: %+v", res.Requests)
+	}
+	if res.Requests.OK != res.Latency.Count {
+		t.Errorf("latency samples %d != ok %d", res.Latency.Count, res.Requests.OK)
+	}
+	if res.ThroughputRPS <= 0 {
+		t.Errorf("throughput = %v", res.ThroughputRPS)
+	}
+	if res.Latency.P50NS <= 0 || res.Latency.P99NS < res.Latency.P50NS {
+		t.Errorf("implausible quantiles: p50=%d p99=%d", res.Latency.P50NS, res.Latency.P99NS)
+	}
+	if res.ClientTotals.Responses < res.Requests.OK {
+		t.Errorf("client responses %d < ok %d", res.ClientTotals.Responses, res.Requests.OK)
+	}
+}
+
+func TestOpenLoopRun(t *testing.T) {
+	target := newTestTarget(t, MemnetConfig{Servers: 3, Backups: 1, Units: 1})
+	res, err := Run(Config{
+		Target:   target,
+		Clients:  4,
+		Duration: 1200 * time.Millisecond,
+		Workload: Workload{
+			Arrival:       ArrivalOpen,
+			RatePerClient: 100,
+			SessionLen:    50,
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Same ≤1% tolerance as the closed loop: contention-induced view
+	// changes are takeovers working, not generator failures.
+	if res.Errors.Total*100 > res.Requests.Sent {
+		t.Errorf("errors = %+v of %d sent (>1%%)\n%s", res.Errors, res.Requests.Sent, res.Summary())
+	}
+	if res.Requests.OK == 0 {
+		t.Fatal("no answered requests")
+	}
+	// An unsaturated open loop should deliver roughly the offered rate;
+	// accept a broad band to stay robust on loaded CI machines.
+	offered := 4 * 100.0
+	if res.ThroughputRPS < offered/4 {
+		t.Errorf("throughput %.0f req/s far below offered %.0f", res.ThroughputRPS, offered)
+	}
+}
+
+func TestZipfHotSpotting(t *testing.T) {
+	// With strong skew, the hottest unit must absorb the majority of
+	// sessions; the sampler is deterministic so this cannot flake.
+	s := newSampler(Workload{ZipfS: 2.0}.withDefaults(), 1, 0, 8)
+	counts := make([]int, 8)
+	for i := 0; i < 4000; i++ {
+		counts[s.unit()]++
+	}
+	if counts[0] < 2000 {
+		t.Errorf("unit 0 drew %d/4000 sessions, want a hot-spot majority (%v)", counts[0], counts)
+	}
+	for i := 1; i < 8; i++ {
+		if counts[i] > counts[0] {
+			t.Errorf("unit %d hotter than unit 0: %v", i, counts)
+		}
+	}
+
+	// Uniform when skew is disabled.
+	u := newSampler(Workload{}.withDefaults(), 1, 0, 8)
+	counts = make([]int, 8)
+	for i := 0; i < 4000; i++ {
+		counts[u.unit()]++
+	}
+	for i, n := range counts {
+		if n < 4000/8/2 {
+			t.Errorf("uniform sampler starved unit %d: %v", i, counts)
+		}
+	}
+}
+
+func TestSamplerDistributions(t *testing.T) {
+	s := newSampler(Workload{SessionLen: 10, SessionLenDist: DistExp,
+		ReqBytes: 32, ReqBytesDist: DistExp}.withDefaults(), 7, 3, 1)
+	var lenSum, byteSum int
+	for i := 0; i < 2000; i++ {
+		l, b := s.sessionLen(), s.reqBytes()
+		if l < 1 || l > 80 {
+			t.Fatalf("sessionLen %d outside [1, 8·mean]", l)
+		}
+		if b < 1 || b > 256 {
+			t.Fatalf("reqBytes %d outside [1, 8·mean]", b)
+		}
+		lenSum += l
+		byteSum += b
+	}
+	if mean := float64(lenSum) / 2000; mean < 5 || mean > 15 {
+		t.Errorf("exp session length mean = %.1f, want ≈10", mean)
+	}
+	if mean := float64(byteSum) / 2000; mean < 16 || mean > 48 {
+		t.Errorf("exp request size mean = %.1f, want ≈32", mean)
+	}
+
+	f := newSampler(Workload{SessionLen: 10, ReqBytes: 32}.withDefaults(), 7, 3, 1)
+	if f.sessionLen() != 10 || f.reqBytes() != 32 {
+		t.Errorf("fixed dist must return the mean")
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	target := newTestTarget(t, MemnetConfig{Servers: 2, Units: 1})
+	res, err := Run(Config{
+		Target:   target,
+		Clients:  2,
+		Duration: 400 * time.Millisecond,
+		Workload: Workload{SessionLen: 10, Think: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_loadgen.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("BENCH_loadgen.json does not parse: %v", err)
+	}
+	if back.Schema != Schema {
+		t.Errorf("schema = %q, want %q", back.Schema, Schema)
+	}
+	if back.Target.Mode != "memnet" || back.Target.Replication != 2 {
+		t.Errorf("target = %+v", back.Target)
+	}
+	if back.Requests.OK != res.Requests.OK || back.Latency.P99NS != res.Latency.P99NS {
+		t.Errorf("round-trip mismatch")
+	}
+	if len(back.Latency.Buckets) == 0 {
+		t.Errorf("latency export carries no buckets")
+	}
+}
+
+func TestFaultInjectionMidRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover run in -short")
+	}
+	target := newTestTarget(t, MemnetConfig{Servers: 3, Backups: 1, Units: 1})
+	res, err := Run(Config{
+		Target:   target,
+		Clients:  4,
+		Duration: 2500 * time.Millisecond,
+		Workload: Workload{
+			Arrival:    ArrivalClosed,
+			Think:      time.Millisecond,
+			SessionLen: 1000, // keep sessions open across the crash
+			ReqTimeout: 3 * time.Second,
+		},
+		InjectAfter: 1200 * time.Millisecond,
+		Inject: func() {
+			target.Crash(target.Servers()[0])
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Takeover must keep the service available: the vast majority of
+	// requests are answered. A handful in flight exactly inside the crash
+	// window may reach only the dead primary (the paper's lost-update
+	// risk, measured by E15) — that is the signal, not a failure.
+	if res.Requests.OK == 0 {
+		t.Fatal("no requests answered")
+	}
+	if lost, sent := res.Errors.Unanswered, res.Requests.Sent; lost*100 > sent {
+		t.Errorf("unanswered = %d of %d (>1%%) after single-crash takeover with B=1\n%s",
+			lost, sent, res.Summary())
+	}
+	if res.Skew.MaxOverMean == 0 || len(res.Skew.Servers) == 0 {
+		t.Errorf("no skew recorded")
+	}
+}
+
+func TestSessionSkew(t *testing.T) {
+	target := newTestTarget(t, MemnetConfig{Servers: 3, Units: 2})
+	client, err := target.NewClient(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for i := 0; i < 6; i++ {
+		unit := target.Units()[i%2]
+		if _, err := client.StartSession(unit, nil); err != nil {
+			t.Fatalf("StartSession %d: %v", i, err)
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	skew := target.SessionSkew()
+	total := 0
+	for pid, n := range skew {
+		if n < 0 || pid == ids.Nil {
+			t.Errorf("bad skew entry %v=%d", pid, n)
+		}
+		total += n
+	}
+	if total != 6 {
+		t.Errorf("skew counts %d sessions, want 6: %v", total, skew)
+	}
+}

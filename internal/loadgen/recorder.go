@@ -1,0 +1,88 @@
+package loadgen
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"hafw/internal/ids"
+	"hafw/internal/metrics"
+)
+
+// Recorder accumulates one run's measurements across all driver clients:
+// request latency at sub-bucket histogram resolution, session start
+// latency, throughput inputs, error/duplicate/unanswered counts, and the
+// per-server response distribution (primary-load skew).
+type Recorder struct {
+	// Latency is request → response round-trip time.
+	Latency metrics.Histogram
+	// StartLatency is StartSession call time.
+	StartLatency metrics.Histogram
+
+	sent       metrics.Counter
+	ok         metrics.Counter
+	duplicates metrics.Counter
+	unanswered metrics.Counter
+	sessions   metrics.Counter
+	startErrs  metrics.Counter
+	sendErrs   metrics.Counter
+	endErrs    metrics.Counter
+
+	mu        sync.Mutex
+	perServer map[ids.EndpointID]uint64
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{perServer: make(map[ids.EndpointID]uint64)}
+}
+
+// response records one answered request.
+func (r *Recorder) response(rtt time.Duration) {
+	r.ok.Inc()
+	r.Latency.Observe(rtt)
+}
+
+// from records which server produced a response (skew accounting).
+func (r *Recorder) from(ep ids.EndpointID) {
+	r.mu.Lock()
+	r.perServer[ep]++
+	r.mu.Unlock()
+}
+
+// ServerLoad is one server's share of the run's responses.
+type ServerLoad struct {
+	// Server names the responding endpoint.
+	Server string `json:"server"`
+	// Responses is how many responses it sent.
+	Responses uint64 `json:"responses"`
+}
+
+// Skew reports the per-server response distribution sorted by server name,
+// and the max/mean imbalance ratio (1.0 = perfectly even; meaningful only
+// with ≥ 1 response).
+func (r *Recorder) Skew() ([]ServerLoad, float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.perServer) == 0 {
+		return nil, 0
+	}
+	out := make([]ServerLoad, 0, len(r.perServer))
+	var total, max uint64
+	for ep, n := range r.perServer {
+		out = append(out, ServerLoad{Server: ep.String(), Responses: n})
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Server < out[j].Server })
+	mean := float64(total) / float64(len(out))
+	return out, float64(max) / mean
+}
+
+// Errors returns the total hard-error count: failed starts, failed sends,
+// failed ends, and unanswered requests.
+func (r *Recorder) Errors() uint64 {
+	return r.startErrs.Value() + r.sendErrs.Value() + r.endErrs.Value() + r.unanswered.Value()
+}

@@ -1,0 +1,163 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hafw/internal/core"
+	"hafw/internal/metrics"
+)
+
+// Schema identifies the BENCH_loadgen.json format version.
+const Schema = "hafw/loadgen/v1"
+
+// RequestCounts breaks the run's requests down.
+type RequestCounts struct {
+	// Sessions is how many sessions the fleet opened.
+	Sessions uint64 `json:"sessions"`
+	// Sent is how many requests were issued.
+	Sent uint64 `json:"sent"`
+	// OK is how many were answered (each contributes a latency sample).
+	OK uint64 `json:"ok"`
+	// Duplicates counts extra responses for already-answered requests —
+	// the takeover resend window — plus any answers arriving after a
+	// session's drain deadline.
+	Duplicates uint64 `json:"duplicates"`
+	// Unanswered is how many requests never saw a response within the
+	// drain grace (hard errors).
+	Unanswered uint64 `json:"unanswered"`
+}
+
+// ErrorCounts breaks the run's hard errors down.
+type ErrorCounts struct {
+	// Start counts failed StartSession calls.
+	Start uint64 `json:"start"`
+	// Send counts sends that failed outright.
+	Send uint64 `json:"send"`
+	// End counts failed EndSession calls.
+	End uint64 `json:"end"`
+	// Unanswered mirrors RequestCounts.Unanswered.
+	Unanswered uint64 `json:"unanswered"`
+	// Total is the sum of the above.
+	Total uint64 `json:"total"`
+}
+
+// SkewReport is the per-server response distribution.
+type SkewReport struct {
+	// Servers lists each server's response share, sorted by name.
+	Servers []ServerLoad `json:"servers"`
+	// MaxOverMean is the imbalance ratio: the busiest server's share over
+	// the mean share (1.0 = perfectly even).
+	MaxOverMean float64 `json:"max_over_mean"`
+}
+
+// Result is one run's full measurement record: the BENCH_loadgen.json
+// document. All latency fields are metrics.HistogramExport (nanoseconds,
+// sub-bucket quantile resolution).
+type Result struct {
+	// Schema is the format version tag.
+	Schema string `json:"schema"`
+	// GeneratedAt is the run's wall-clock completion time (RFC 3339).
+	GeneratedAt string `json:"generated_at"`
+	// Target describes the measured deployment (mode, servers, R, B, T).
+	Target TargetInfo `json:"target"`
+	// Clients is the driver fleet size.
+	Clients int `json:"clients"`
+	// Seed is the workload randomness seed.
+	Seed int64 `json:"seed"`
+	// Workload is the session mix that was driven.
+	Workload Workload `json:"workload"`
+	// DurationS is the configured measurement window, seconds.
+	DurationS float64 `json:"duration_s"`
+	// ElapsedS is the measured wall time including session drain, seconds.
+	ElapsedS float64 `json:"elapsed_s"`
+	// ThroughputRPS is answered requests per elapsed second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Requests breaks request counts down.
+	Requests RequestCounts `json:"requests"`
+	// Errors breaks hard errors down.
+	Errors ErrorCounts `json:"errors"`
+	// ClientTotals sums the fleet's request-path counters (retries,
+	// re-resolves, timeouts, ...).
+	ClientTotals core.ClientStats `json:"client_totals"`
+	// Latency is request → response round-trip time.
+	Latency LatencyExport `json:"latency"`
+	// StartLatency is StartSession call time.
+	StartLatency LatencyExport `json:"start_latency"`
+	// Skew is the per-server response distribution.
+	Skew SkewReport `json:"skew"`
+}
+
+// LatencyExport is the latency summary format: metrics.HistogramExport
+// (nanosecond quantiles plus raw log-linear buckets).
+type LatencyExport = metrics.HistogramExport
+
+func buildResult(cfg Config, rec *Recorder, totals core.ClientStats, elapsed time.Duration) *Result {
+	servers, ratio := rec.Skew()
+	res := &Result{
+		Schema:      Schema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Target:      cfg.Target.Info(),
+		Clients:     cfg.Clients,
+		Seed:        cfg.Seed,
+		Workload:    cfg.Workload,
+		DurationS:   cfg.Duration.Seconds(),
+		ElapsedS:    elapsed.Seconds(),
+		Requests: RequestCounts{
+			Sessions:   rec.sessions.Value(),
+			Sent:       rec.sent.Value(),
+			OK:         rec.ok.Value(),
+			Duplicates: rec.duplicates.Value(),
+			Unanswered: rec.unanswered.Value(),
+		},
+		Errors: ErrorCounts{
+			Start:      rec.startErrs.Value(),
+			Send:       rec.sendErrs.Value(),
+			End:        rec.endErrs.Value(),
+			Unanswered: rec.unanswered.Value(),
+		},
+		ClientTotals: totals,
+		Latency:      rec.Latency.Export(),
+		StartLatency: rec.StartLatency.Export(),
+		Skew:         SkewReport{Servers: servers, MaxOverMean: ratio},
+	}
+	res.Errors.Total = res.Errors.Start + res.Errors.Send + res.Errors.End + res.Errors.Unanswered
+	if elapsed > 0 {
+		res.ThroughputRPS = float64(res.Requests.OK) / elapsed.Seconds()
+	}
+	return res
+}
+
+// WriteJSON writes the result to path, indented.
+func (r *Result) WriteJSON(path string) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// Summary renders a short human-readable digest.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "target: %s, %d servers (R=%d B=%d T=%dms), %d clients, %s arrival\n",
+		r.Target.Mode, r.Target.Servers, r.Target.Replication, r.Target.Backups,
+		r.Target.PropagationMS, r.Clients, r.Workload.Arrival)
+	fmt.Fprintf(&b, "throughput: %.0f req/s (%d ok / %d sent over %.1fs, %d sessions)\n",
+		r.ThroughputRPS, r.Requests.OK, r.Requests.Sent, r.ElapsedS, r.Requests.Sessions)
+	fmt.Fprintf(&b, "latency: p50=%v p90=%v p99=%v p99.9=%v max=%v\n",
+		time.Duration(r.Latency.P50NS), time.Duration(r.Latency.P90NS),
+		time.Duration(r.Latency.P99NS), time.Duration(r.Latency.P999NS),
+		time.Duration(r.Latency.MaxNS))
+	fmt.Fprintf(&b, "errors: %d (start=%d send=%d end=%d unanswered=%d) duplicates=%d retries=%d re-resolves=%d\n",
+		r.Errors.Total, r.Errors.Start, r.Errors.Send, r.Errors.End,
+		r.Errors.Unanswered, r.Requests.Duplicates, r.ClientTotals.Retries, r.ClientTotals.Reresolves)
+	if len(r.Skew.Servers) > 0 {
+		fmt.Fprintf(&b, "skew: max/mean %.2f across %d responding servers\n",
+			r.Skew.MaxOverMean, len(r.Skew.Servers))
+	}
+	return b.String()
+}

@@ -1,0 +1,334 @@
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hafw/internal/core"
+	"hafw/internal/ids"
+	"hafw/internal/metrics"
+	"hafw/internal/testutil"
+	"hafw/internal/transport/memnet"
+	"hafw/internal/transport/tcpnet"
+	"hafw/internal/wire"
+)
+
+// TargetInfo describes the deployment a run measured, for the report.
+type TargetInfo struct {
+	// Mode is "memnet" or "tcpnet".
+	Mode string `json:"mode"`
+	// Servers is the server count.
+	Servers int `json:"servers"`
+	// Replication is the paper's R: replicas per content unit.
+	Replication int `json:"replication"`
+	// Backups is the paper's B (per-session backups), -1 when unknown
+	// (tcpnet mode cannot see the remote configuration).
+	Backups int `json:"backups"`
+	// PropagationMS is the paper's T in milliseconds, 0 when unknown.
+	PropagationMS int64 `json:"propagation_ms"`
+}
+
+// Target is a deployment a load run drives: it hands out clients and names
+// the content units sessions may open.
+type Target interface {
+	// NewClient attaches one driver client. onFrom, if non-nil, observes
+	// every response's transport-level source (skew accounting).
+	NewClient(onFrom func(from ids.EndpointID)) (*core.Client, error)
+	// Units lists the content units available for sessions.
+	Units() []ids.UnitName
+	// Info describes the deployment.
+	Info() TargetInfo
+	// Close tears down whatever the target owns.
+	Close()
+}
+
+// MemnetConfig parameterizes an in-process cluster target.
+type MemnetConfig struct {
+	// Servers is the cluster size. Zero means 3.
+	Servers int
+	// Backups is the per-session backup count (the paper's B).
+	Backups int
+	// Propagation is the context propagation period (the paper's T).
+	// Zero means 50ms.
+	Propagation time.Duration
+	// Units is how many content units the cluster serves (each replicated
+	// on every server, so R = Servers). Zero means 4.
+	Units int
+	// Net tunes the in-memory network (latency, jitter, loss).
+	Net memnet.Config
+}
+
+// MemnetTarget is a live in-process cluster serving the echo service on
+// every unit, with protocol timers on the compressed experiment timescale.
+type MemnetTarget struct {
+	cfg   MemnetConfig
+	net   *memnet.Network
+	units []ids.UnitName
+
+	mu      sync.Mutex
+	servers map[ids.ProcessID]*core.Server
+	pids    []ids.ProcessID
+	nextCID ids.ClientID
+}
+
+// NewMemnetTarget brings up the cluster and waits for group formation.
+func NewMemnetTarget(cfg MemnetConfig) (*MemnetTarget, error) {
+	if cfg.Servers == 0 {
+		cfg.Servers = 3
+	}
+	if cfg.Propagation == 0 {
+		cfg.Propagation = 50 * time.Millisecond
+	}
+	if cfg.Units == 0 {
+		cfg.Units = 4
+	}
+	t := &MemnetTarget{
+		cfg:     cfg,
+		net:     memnet.New(cfg.Net),
+		servers: make(map[ids.ProcessID]*core.Server),
+		nextCID: 5000,
+	}
+	for i := 0; i < cfg.Units; i++ {
+		t.units = append(t.units, ids.UnitName(fmt.Sprintf("load-%d", i)))
+	}
+	for i := 1; i <= cfg.Servers; i++ {
+		t.pids = append(t.pids, ids.ProcessID(i))
+	}
+	scale := time.Duration(testutil.TimeScale)
+	for _, pid := range t.pids {
+		ep, err := t.net.Attach(ids.ProcessEndpoint(pid))
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+		units := make([]core.UnitConfig, 0, len(t.units))
+		for _, u := range t.units {
+			units = append(units, core.UnitConfig{
+				Unit:              u,
+				Service:           NewEchoService(),
+				Backups:           cfg.Backups,
+				PropagationPeriod: cfg.Propagation,
+				IdleTimeout:       30 * time.Second,
+			})
+		}
+		srv, err := core.NewServer(core.Config{
+			Self:         pid,
+			Transport:    ep,
+			World:        t.pids,
+			Units:        units,
+			Metrics:      metrics.NewRegistry(),
+			FDInterval:   10 * time.Millisecond * scale,
+			FDTimeout:    60 * time.Millisecond * scale,
+			RoundTimeout: 100 * time.Millisecond * scale,
+			AckInterval:  15 * time.Millisecond * scale,
+		})
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+		if err := srv.Start(); err != nil {
+			t.Close()
+			return nil, err
+		}
+		t.servers[pid] = srv
+	}
+	if err := t.waitFormed(30 * time.Second); err != nil {
+		t.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *MemnetTarget) waitFormed(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		formed := true
+		for _, pid := range t.pids {
+			for _, u := range t.units {
+				if len(t.servers[pid].GroupMembers(core.ContentGroup(u))) != len(t.pids) {
+					formed = false
+				}
+			}
+		}
+		if formed {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: cluster did not form within %v", timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// NewClient implements Target.
+func (t *MemnetTarget) NewClient(onFrom func(from ids.EndpointID)) (*core.Client, error) {
+	t.mu.Lock()
+	t.nextCID++
+	cid := t.nextCID
+	t.mu.Unlock()
+	ep, err := t.net.Attach(ids.ClientEndpoint(cid))
+	if err != nil {
+		return nil, err
+	}
+	var hook func(ids.EndpointID, ids.SessionID, uint64, wire.Message)
+	if onFrom != nil {
+		hook = func(from ids.EndpointID, _ ids.SessionID, _ uint64, _ wire.Message) { onFrom(from) }
+	}
+	return core.NewClient(core.ClientConfig{
+		Self:           cid,
+		Transport:      ep,
+		Servers:        append([]ids.ProcessID(nil), t.pids...),
+		RequestTimeout: 400 * time.Millisecond * time.Duration(testutil.TimeScale),
+		Retries:        6,
+		OnResponseFrom: hook,
+	})
+}
+
+// Units implements Target.
+func (t *MemnetTarget) Units() []ids.UnitName { return append([]ids.UnitName(nil), t.units...) }
+
+// Info implements Target.
+func (t *MemnetTarget) Info() TargetInfo {
+	return TargetInfo{
+		Mode:          "memnet",
+		Servers:       t.cfg.Servers,
+		Replication:   t.cfg.Servers,
+		Backups:       t.cfg.Backups,
+		PropagationMS: t.cfg.Propagation.Milliseconds(),
+	}
+}
+
+// Crash kills one server mid-run (fault injection for saturation and
+// failover experiments).
+func (t *MemnetTarget) Crash(pid ids.ProcessID) {
+	t.net.Crash(ids.ProcessEndpoint(pid))
+}
+
+// Servers lists the cluster's process IDs.
+func (t *MemnetTarget) Servers() []ids.ProcessID { return append([]ids.ProcessID(nil), t.pids...) }
+
+// SessionSkew counts live sessions per primary across all units, as seen
+// by the first live server's unit databases: the placement-side complement
+// of the recorder's response-side skew.
+func (t *MemnetTarget) SessionSkew() map[ids.ProcessID]int {
+	out := make(map[ids.ProcessID]int)
+	for _, pid := range t.pids {
+		if t.net.Crashed(ids.ProcessEndpoint(pid)) {
+			continue
+		}
+		for _, u := range t.units {
+			for _, s := range t.servers[pid].DBSnapshot(u).Sessions {
+				out[s.Primary]++
+			}
+		}
+		break
+	}
+	return out
+}
+
+// Close implements Target.
+func (t *MemnetTarget) Close() {
+	for _, s := range t.servers {
+		s.Stop()
+	}
+	t.net.Close()
+}
+
+// TCPConfig parameterizes a target of real hanode processes.
+type TCPConfig struct {
+	// Addrs maps each server endpoint to its TCP address.
+	Addrs map[ids.EndpointID]string
+	// World lists the server process IDs (the a-priori service group).
+	World []ids.ProcessID
+	// BaseClientID numbers driver clients from here. Zero means 5000.
+	BaseClientID uint64
+	// ListenHost is the local host clients bind ephemeral ports on.
+	// Empty means 127.0.0.1.
+	ListenHost string
+}
+
+// TCPTarget drives an existing hanode deployment over real TCP. Each
+// driver client gets its own tcpnet transport on an ephemeral port.
+type TCPTarget struct {
+	cfg   TCPConfig
+	units []ids.UnitName
+	repl  int
+
+	mu      sync.Mutex
+	nextCID ids.ClientID
+}
+
+// NewTCPTarget probes the deployment for its content units.
+func NewTCPTarget(cfg TCPConfig) (*TCPTarget, error) {
+	if cfg.BaseClientID == 0 {
+		cfg.BaseClientID = 5000
+	}
+	if cfg.ListenHost == "" {
+		cfg.ListenHost = "127.0.0.1"
+	}
+	t := &TCPTarget{cfg: cfg, nextCID: ids.ClientID(cfg.BaseClientID)}
+	probe, err := t.NewClient(nil)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: probe client: %w", err)
+	}
+	defer probe.Close()
+	units, err := probe.ListUnits()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: probe ListUnits: %w", err)
+	}
+	if len(units) == 0 {
+		return nil, fmt.Errorf("loadgen: deployment offers no content units")
+	}
+	for _, u := range units {
+		t.units = append(t.units, u.Unit)
+		if u.Replicas > t.repl {
+			t.repl = u.Replicas
+		}
+	}
+	return t, nil
+}
+
+// NewClient implements Target.
+func (t *TCPTarget) NewClient(onFrom func(from ids.EndpointID)) (*core.Client, error) {
+	t.mu.Lock()
+	t.nextCID++
+	cid := t.nextCID
+	t.mu.Unlock()
+	tr, err := tcpnet.New(tcpnet.Config{
+		Self:       ids.ClientEndpoint(cid),
+		ListenAddr: t.cfg.ListenHost + ":0",
+		Peers:      t.cfg.Addrs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var hook func(ids.EndpointID, ids.SessionID, uint64, wire.Message)
+	if onFrom != nil {
+		hook = func(from ids.EndpointID, _ ids.SessionID, _ uint64, _ wire.Message) { onFrom(from) }
+	}
+	return core.NewClient(core.ClientConfig{
+		Self:           cid,
+		Transport:      tr,
+		Servers:        append([]ids.ProcessID(nil), t.cfg.World...),
+		RequestTimeout: time.Second,
+		Retries:        5,
+		OnResponseFrom: hook,
+	})
+}
+
+// Units implements Target.
+func (t *TCPTarget) Units() []ids.UnitName { return append([]ids.UnitName(nil), t.units...) }
+
+// Info implements Target.
+func (t *TCPTarget) Info() TargetInfo {
+	return TargetInfo{
+		Mode:        "tcpnet",
+		Servers:     len(t.cfg.World),
+		Replication: t.repl,
+		Backups:     -1,
+	}
+}
+
+// Close implements Target. The remote processes are not ours to stop.
+func (t *TCPTarget) Close() {}

@@ -1,0 +1,180 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Arrival selects the request arrival process.
+type Arrival string
+
+const (
+	// ArrivalClosed is a closed loop: each client sends a request, waits
+	// for the response (or times out), thinks, and repeats. Offered load
+	// adapts to service speed — the classic capacity-measurement mode.
+	ArrivalClosed Arrival = "closed"
+	// ArrivalOpen is an open loop: each client sends on a Poisson schedule
+	// regardless of outstanding responses. Offered load is fixed, so
+	// saturation shows up as latency growth and unanswered requests.
+	ArrivalOpen Arrival = "open"
+)
+
+// Dist selects a sampling distribution for sizes and lengths.
+type Dist string
+
+const (
+	// DistFixed always returns the mean.
+	DistFixed Dist = "fixed"
+	// DistExp samples exponentially around the mean (clamped to ≥ 1).
+	DistExp Dist = "exp"
+)
+
+// Workload describes the session mix every driver client runs.
+type Workload struct {
+	// Arrival is the arrival process. Empty means closed-loop.
+	Arrival Arrival `json:"arrival"`
+	// RatePerClient is the open-loop Poisson rate, requests/second per
+	// client. Zero means 200/s.
+	RatePerClient float64 `json:"rate_per_client,omitempty"`
+	// Think is the closed-loop mean think time between a response and the
+	// next request (sampled exponentially). Zero means 2ms.
+	Think time.Duration `json:"think_ns,omitempty"`
+	// SessionLen is the mean number of requests per session before the
+	// driver ends it and starts a new one. Zero means 100.
+	SessionLen int `json:"session_len"`
+	// SessionLenDist distributes per-session lengths around SessionLen.
+	// Empty means fixed.
+	SessionLenDist Dist `json:"session_len_dist,omitempty"`
+	// ReqBytes is the mean request padding size. Zero means 64.
+	ReqBytes int `json:"req_bytes"`
+	// ReqBytesDist distributes request sizes around ReqBytes. Empty means
+	// fixed.
+	ReqBytesDist Dist `json:"req_bytes_dist,omitempty"`
+	// ZipfS is the Zipf skew exponent for unit popularity across the
+	// target's content units: s > 1 concentrates sessions on hot units
+	// (hot-spotting); ≤ 1 selects uniformly. Zero means uniform.
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	// ReqTimeout bounds one closed-loop response wait, and is the grace an
+	// open-loop session allows stragglers before counting them
+	// unanswered. Zero means 5s.
+	ReqTimeout time.Duration `json:"req_timeout_ns,omitempty"`
+}
+
+// withDefaults fills zero fields.
+func (w Workload) withDefaults() Workload {
+	if w.Arrival == "" {
+		w.Arrival = ArrivalClosed
+	}
+	if w.RatePerClient == 0 {
+		w.RatePerClient = 200
+	}
+	if w.Think == 0 {
+		w.Think = 2 * time.Millisecond
+	}
+	if w.SessionLen == 0 {
+		w.SessionLen = 100
+	}
+	if w.SessionLenDist == "" {
+		w.SessionLenDist = DistFixed
+	}
+	if w.ReqBytes == 0 {
+		w.ReqBytes = 64
+	}
+	if w.ReqBytesDist == "" {
+		w.ReqBytesDist = DistFixed
+	}
+	if w.ReqTimeout == 0 {
+		w.ReqTimeout = 5 * time.Second
+	}
+	return w
+}
+
+// validate rejects nonsensical parameters.
+func (w Workload) validate() error {
+	switch w.Arrival {
+	case ArrivalClosed, ArrivalOpen:
+	default:
+		return fmt.Errorf("loadgen: unknown arrival process %q", w.Arrival)
+	}
+	for _, d := range []Dist{w.SessionLenDist, w.ReqBytesDist} {
+		switch d {
+		case DistFixed, DistExp:
+		default:
+			return fmt.Errorf("loadgen: unknown distribution %q", d)
+		}
+	}
+	if w.RatePerClient < 0 || w.SessionLen < 0 || w.ReqBytes < 0 {
+		return fmt.Errorf("loadgen: negative workload parameter")
+	}
+	return nil
+}
+
+// sampler draws workload randomness for one driver, deterministically from
+// the run seed and the driver index.
+type sampler struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	w    Workload
+	n    int // unit count
+}
+
+func newSampler(w Workload, seed int64, driver, units int) *sampler {
+	rng := rand.New(rand.NewSource(seed + int64(driver)*7919))
+	s := &sampler{rng: rng, w: w, n: units}
+	if w.ZipfS > 1 && units > 1 {
+		s.zipf = rand.NewZipf(rng, w.ZipfS, 1, uint64(units-1))
+	}
+	return s
+}
+
+// unit picks a session's content unit index: Zipf hot-spotted when
+// configured, uniform otherwise.
+func (s *sampler) unit() int {
+	if s.n <= 1 {
+		return 0
+	}
+	if s.zipf != nil {
+		return int(s.zipf.Uint64())
+	}
+	return s.rng.Intn(s.n)
+}
+
+// sessionLen draws one session's request count (≥ 1).
+func (s *sampler) sessionLen() int {
+	return s.sampleInt(s.w.SessionLen, s.w.SessionLenDist)
+}
+
+// reqBytes draws one request's padding size (≥ 1).
+func (s *sampler) reqBytes() int {
+	return s.sampleInt(s.w.ReqBytes, s.w.ReqBytesDist)
+}
+
+func (s *sampler) sampleInt(mean int, d Dist) int {
+	if mean <= 0 {
+		return 1
+	}
+	if d == DistExp {
+		v := int(s.rng.ExpFloat64() * float64(mean))
+		if v < 1 {
+			v = 1
+		}
+		// Clamp the exponential's long tail at 8× the mean so one draw
+		// cannot dominate a short run.
+		if v > 8*mean {
+			v = 8 * mean
+		}
+		return v
+	}
+	return mean
+}
+
+// interarrival draws the next open-loop Poisson gap.
+func (s *sampler) interarrival() time.Duration {
+	return time.Duration(s.rng.ExpFloat64() * float64(time.Second) / s.w.RatePerClient)
+}
+
+// think draws one closed-loop think time.
+func (s *sampler) think() time.Duration {
+	return time.Duration(s.rng.ExpFloat64() * float64(s.w.Think))
+}

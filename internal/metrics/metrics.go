@@ -41,11 +41,25 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// Histogram records duration observations in exponential buckets from
-// 100µs to ~100s, tracking count, sum, min and max exactly.
+// Histogram layout: a log-linear (sub-bucketed exponential) histogram.
+// Durations below histBase fall into histSub linear buckets of width
+// histBase/histSub; each power-of-two octave [histBase·2^k, histBase·2^(k+1))
+// for k in [0, histOctaves) is split into histSub equal linear sub-buckets.
+// Quantile estimates are therefore tight to 1/histSub of the octave width,
+// instead of a whole power of two.
+const (
+	histBase    = 100 * time.Microsecond
+	histSub     = 4
+	histOctaves = 21 // up to histBase·2^21 ≈ 210s
+	histBuckets = histSub * (histOctaves + 1)
+)
+
+// Histogram records duration observations in log-linear buckets from
+// 100µs to ~200s (4 sub-buckets per power of two), tracking count, sum,
+// min and max exactly.
 type Histogram struct {
 	mu      sync.Mutex
-	buckets [22]uint64
+	buckets [histBuckets]uint64
 	count   uint64
 	sum     time.Duration
 	min     time.Duration
@@ -54,11 +68,34 @@ type Histogram struct {
 
 // bucketFor maps a duration to its bucket index.
 func bucketFor(d time.Duration) int {
-	b := 0
-	for lim := 100 * time.Microsecond; d >= lim && b < 21; lim *= 2 {
-		b++
+	if d < 0 {
+		return 0
 	}
-	return b
+	if d < histBase {
+		return int(d / (histBase / histSub))
+	}
+	lo := histBase
+	for k := 0; k < histOctaves; k++ {
+		hi := lo * 2
+		if d < hi {
+			return histSub*(k+1) + int((d-lo)/(lo/histSub))
+		}
+		lo = hi
+	}
+	return histBuckets - 1
+}
+
+// bucketBounds returns bucket i's half-open interval [lo, hi).
+func bucketBounds(i int) (lo, hi time.Duration) {
+	if i < histSub {
+		w := histBase / histSub
+		return time.Duration(i) * w, time.Duration(i+1) * w
+	}
+	k := i/histSub - 1
+	octLo := histBase << uint(k)
+	w := octLo / histSub
+	sub := i % histSub
+	return octLo + time.Duration(sub)*w, octLo + time.Duration(sub+1)*w
 }
 
 // Observe records one duration.
@@ -108,7 +145,8 @@ func (h *Histogram) Max() time.Duration {
 }
 
 // Quantile returns an upper bound for the q-quantile (0 < q ≤ 1) from the
-// bucket boundaries, or 0 with no data.
+// sub-bucket boundaries, or 0 with no data. The bound is tight to 1/4 of
+// the enclosing power-of-two bucket's width (and never exceeds Max).
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -120,15 +158,74 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		target = 1
 	}
 	var cum uint64
-	lim := 100 * time.Microsecond
-	for _, n := range h.buckets {
+	for i, n := range h.buckets {
 		cum += n
 		if cum >= target {
-			return lim // the bucket's upper bound
+			_, hi := bucketBounds(i)
+			if hi > h.max {
+				return h.max
+			}
+			return hi
 		}
-		lim *= 2
 	}
 	return h.max
+}
+
+// Bucket is one non-empty histogram cell: the half-open interval [Lo, Hi)
+// and its observation count.
+type Bucket struct {
+	// Lo is the bucket's inclusive lower bound.
+	Lo time.Duration `json:"lo_ns"`
+	// Hi is the bucket's exclusive upper bound.
+	Hi time.Duration `json:"hi_ns"`
+	// Count is the number of observations in [Lo, Hi).
+	Count uint64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending order. The counts sum
+// to Count().
+func (h *Histogram) Buckets() []Bucket {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []Bucket
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		out = append(out, Bucket{Lo: lo, Hi: hi, Count: n})
+	}
+	return out
+}
+
+// HistogramExport is a JSON-serializable histogram summary: exact count,
+// mean and extrema, sub-bucket-resolution quantiles, and the raw buckets.
+// All durations are nanoseconds.
+type HistogramExport struct {
+	Count   uint64   `json:"count"`
+	MeanNS  int64    `json:"mean_ns"`
+	MinNS   int64    `json:"min_ns"`
+	MaxNS   int64    `json:"max_ns"`
+	P50NS   int64    `json:"p50_ns"`
+	P90NS   int64    `json:"p90_ns"`
+	P99NS   int64    `json:"p99_ns"`
+	P999NS  int64    `json:"p999_ns"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Export summarizes the histogram for machine-readable output.
+func (h *Histogram) Export() HistogramExport {
+	return HistogramExport{
+		Count:   h.Count(),
+		MeanNS:  h.Mean().Nanoseconds(),
+		MinNS:   h.Min().Nanoseconds(),
+		MaxNS:   h.Max().Nanoseconds(),
+		P50NS:   h.Quantile(0.50).Nanoseconds(),
+		P90NS:   h.Quantile(0.90).Nanoseconds(),
+		P99NS:   h.Quantile(0.99).Nanoseconds(),
+		P999NS:  h.Quantile(0.999).Nanoseconds(),
+		Buckets: h.Buckets(),
+	}
 }
 
 // Registry is a named collection of metrics.

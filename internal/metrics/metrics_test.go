@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -61,6 +62,172 @@ func TestHistogramBasics(t *testing.T) {
 	}
 	if q := h.Quantile(0.99); q < time.Millisecond {
 		t.Errorf("Quantile(0.99) = %v, want >= 1ms", q)
+	}
+}
+
+// octaveWidth returns the width of the power-of-two bucket enclosing d
+// (the resolution the pre-sub-bucket histogram had).
+func octaveWidth(d time.Duration) time.Duration {
+	if d < histBase {
+		return histBase
+	}
+	lo := histBase
+	for lo*2 <= d {
+		lo *= 2
+	}
+	return lo
+}
+
+func TestHistogramSubBucketAccuracy(t *testing.T) {
+	// A quantile estimate must sit within 1/4 of the enclosing
+	// power-of-two bucket's width of the true value, at every scale.
+	values := []time.Duration{
+		30 * time.Microsecond,
+		90 * time.Microsecond,
+		130 * time.Microsecond,
+		777 * time.Microsecond,
+		3200 * time.Microsecond,
+		17 * time.Millisecond,
+		250 * time.Millisecond,
+		4 * time.Second,
+	}
+	for _, v := range values {
+		var h Histogram
+		for i := 0; i < 100; i++ {
+			h.Observe(v)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			got := h.Quantile(q)
+			if got < v {
+				t.Errorf("Quantile(%v) = %v < true value %v", q, got, v)
+			}
+			if tol := octaveWidth(v) / 4; got-v > tol {
+				t.Errorf("Quantile(%v) = %v, true %v: error %v exceeds 1/4 bucket width %v",
+					q, got, v, got-v, tol)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantileMixed(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 50*time.Millisecond || p50 > 50*time.Millisecond+octaveWidth(50*time.Millisecond)/4 {
+		t.Errorf("p50 = %v, want 50ms..50ms+1/4 bucket", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 99*time.Millisecond || p99 > 100*time.Millisecond+octaveWidth(99*time.Millisecond)/4 {
+		t.Errorf("p99 = %v, want ≈99–100ms", p99)
+	}
+	if h.Quantile(1.0) > h.Max() {
+		t.Errorf("Quantile(1.0) = %v exceeds Max %v", h.Quantile(1.0), h.Max())
+	}
+}
+
+func TestHistogramBucketBounds(t *testing.T) {
+	// The bucket partition must be contiguous, ascending, and agree with
+	// bucketFor on both edges of every cell.
+	var prevHi time.Duration
+	for i := 0; i < histBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if lo != prevHi {
+			t.Fatalf("bucket %d: lo %v != previous hi %v", i, lo, prevHi)
+		}
+		if hi <= lo {
+			t.Fatalf("bucket %d: empty interval [%v,%v)", i, lo, hi)
+		}
+		if got := bucketFor(lo); got != i {
+			t.Errorf("bucketFor(%v) = %d, want %d", lo, got, i)
+		}
+		if i < histBuckets-1 {
+			if got := bucketFor(hi - 1); got != i {
+				t.Errorf("bucketFor(%v) = %d, want %d", hi-1, got, i)
+			}
+		}
+		prevHi = hi
+	}
+	// Overflow clamps into the last bucket.
+	if got := bucketFor(time.Hour); got != histBuckets-1 {
+		t.Errorf("bucketFor(1h) = %d, want %d", got, histBuckets-1)
+	}
+	if got := bucketFor(-time.Second); got != 0 {
+		t.Errorf("bucketFor(-1s) = %d, want 0", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	obs := []time.Duration{
+		10 * time.Microsecond, 150 * time.Microsecond, 151 * time.Microsecond,
+		3 * time.Millisecond, 90 * time.Millisecond, 2 * time.Second,
+	}
+	for _, d := range obs {
+		h.Observe(d)
+	}
+	bs := h.Buckets()
+	var sum uint64
+	var prev Bucket
+	for i, b := range bs {
+		sum += b.Count
+		if i > 0 && b.Lo < prev.Hi {
+			t.Errorf("buckets out of order: %+v then %+v", prev, b)
+		}
+		prev = b
+	}
+	if sum != h.Count() {
+		t.Errorf("bucket counts sum to %d, want %d", sum, h.Count())
+	}
+	// The two 150µs-range observations share one sub-bucket.
+	found := false
+	for _, b := range bs {
+		if b.Lo <= 150*time.Microsecond && 151*time.Microsecond < b.Hi && b.Count == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a sub-bucket holding both 150µs and 151µs: %+v", bs)
+	}
+}
+
+func TestHistogramExportJSON(t *testing.T) {
+	var h Histogram
+	h.Observe(2 * time.Millisecond)
+	h.Observe(8 * time.Millisecond)
+	ex := h.Export()
+	if ex.Count != 2 || ex.MeanNS != (5*time.Millisecond).Nanoseconds() {
+		t.Errorf("export = %+v", ex)
+	}
+	raw, err := json.Marshal(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistogramExport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count != ex.Count || back.P99NS != ex.P99NS || len(back.Buckets) != len(ex.Buckets) {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back, ex)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(time.Duration(i+1) * time.Millisecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Errorf("Count = %d, want 4000", h.Count())
 	}
 }
 
