@@ -1,0 +1,337 @@
+// Package analysistest runs an analyzer over GOPATH-style test packages
+// under a testdata/src directory and checks its diagnostics against
+// `// want "regexp"` comments in the sources, mirroring
+// golang.org/x/tools/go/analysis/analysistest. Test packages may import
+// each other (facts flow between them) and the standard library (resolved
+// from compiler export data via `go list -export`, so no network is
+// needed).
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hafw/internal/analysis"
+	"hafw/internal/analysis/load"
+)
+
+// TestData returns the callers' testdata directory as an absolute path.
+func TestData() string {
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return abs
+}
+
+// Run analyzes the packages named by patterns (paths under
+// testdata/src) and compares diagnostics against `// want` comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	run(t, testdata, a, patterns, false)
+}
+
+// RunWithSuggestedFixes is Run plus fix verification: all suggested fixes
+// are applied and the result of each changed file is compared against a
+// sibling <file>.golden.
+func RunWithSuggestedFixes(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	run(t, testdata, a, patterns, true)
+}
+
+type testPkg struct {
+	path     string
+	dir      string
+	files    []string // absolute paths, sorted
+	imports  []string
+	pkg      *load.Package
+	facts    analysis.PackageFacts
+	findings []analysis.Finding
+	analyzed bool
+}
+
+func run(t *testing.T, testdata string, a *analysis.Analyzer, patterns []string, checkFixes bool) {
+	t.Helper()
+	if len(patterns) == 0 {
+		t.Fatal("analysistest: no packages to analyze")
+	}
+	fset := token.NewFileSet()
+	pkgs := make(map[string]*testPkg)
+	stdlib := make(map[string]bool)
+	for _, p := range patterns {
+		discover(t, testdata, p, pkgs, stdlib)
+	}
+
+	imp := load.NewImporter(fset, stdlibExports(t, stdlib))
+	for _, p := range patterns {
+		check(t, fset, imp, pkgs, p)
+	}
+	for _, p := range patterns {
+		analyze(t, fset, a, pkgs, p)
+	}
+
+	for _, p := range patterns {
+		tp := pkgs[p]
+		checkWants(t, fset, tp)
+		if checkFixes {
+			checkGolden(t, fset, tp)
+		}
+	}
+}
+
+// discover parses the package's imports and recursively registers every
+// testdata-local package; imports with no testdata directory are assumed
+// to be standard library.
+func discover(t *testing.T, testdata, path string, pkgs map[string]*testPkg, stdlib map[string]bool) {
+	t.Helper()
+	if _, ok := pkgs[path]; ok {
+		return
+	}
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: package %s: %v", path, err)
+	}
+	tp := &testPkg{path: path, dir: dir}
+	pkgs[path] = tp
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		tp.files = append(tp.files, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(tp.files)
+	if len(tp.files) == 0 {
+		t.Fatalf("analysistest: package %s has no Go files", path)
+	}
+	seen := make(map[string]bool)
+	for _, file := range tp.files {
+		f, err := parser.ParseFile(token.NewFileSet(), file, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		for _, spec := range f.Imports {
+			ipath, _ := strconv.Unquote(spec.Path.Value)
+			if seen[ipath] {
+				continue
+			}
+			seen[ipath] = true
+			if _, err := os.Stat(filepath.Join(testdata, "src", filepath.FromSlash(ipath))); err == nil {
+				tp.imports = append(tp.imports, ipath)
+				discover(t, testdata, ipath, pkgs, stdlib)
+			} else {
+				stdlib[ipath] = true
+			}
+		}
+	}
+	sort.Strings(tp.imports)
+}
+
+// stdlibExports lists the needed standard-library packages (plus their
+// dependency closure) and returns the export-data file table.
+func stdlibExports(t *testing.T, stdlib map[string]bool) map[string]string {
+	t.Helper()
+	exports := make(map[string]string)
+	if len(stdlib) == 0 {
+		return exports
+	}
+	var paths []string
+	for p := range stdlib {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	listed, err := load.GoList(".", append([]string{"-deps", "-export"}, paths...)...)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return exports
+}
+
+// check type-checks the package (dependencies first) and registers it
+// with the importer.
+func check(t *testing.T, fset *token.FileSet, imp *load.Importer, pkgs map[string]*testPkg, path string) {
+	t.Helper()
+	tp := pkgs[path]
+	if tp.pkg != nil {
+		return
+	}
+	for _, dep := range tp.imports {
+		check(t, fset, imp, pkgs, dep)
+	}
+	pkg, err := load.CheckFiles(fset, path, tp.files, imp, "")
+	if err != nil {
+		t.Fatalf("analysistest: %s: %v", path, err)
+	}
+	for _, e := range pkg.Errors {
+		t.Errorf("analysistest: %s: typecheck: %v", path, e)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	tp.pkg = pkg
+	imp.Provide(path, pkg.Types)
+}
+
+// analyze runs the analyzer over the package, after its testdata
+// dependencies (whose facts it can then import).
+func analyze(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, pkgs map[string]*testPkg, path string) {
+	t.Helper()
+	tp := pkgs[path]
+	if tp.analyzed {
+		return
+	}
+	tp.analyzed = true
+	for _, dep := range tp.imports {
+		analyze(t, fset, a, pkgs, dep)
+	}
+	deps := func(pkgPath string) analysis.PackageFacts {
+		if d, ok := pkgs[pkgPath]; ok {
+			return d.facts
+		}
+		return nil
+	}
+	facts, findings, err := analysis.RunAnalyzers(tp.pkg.Loaded(fset), []*analysis.Analyzer{a}, deps)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	tp.facts = facts
+	tp.findings = findings
+}
+
+// A want is one expected-diagnostic regexp at a file line.
+type want struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// checkWants compares the package's findings against its `// want`
+// comments, failing the test on any mismatch in either direction.
+func checkWants(t *testing.T, fset *token.FileSet, tp *testPkg) {
+	t.Helper()
+	wants := make(map[string][]*want) // "file:line" → expectations
+	for _, file := range tp.pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, lit := range splitLiterals(t, c.Text, m[1]) {
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("analysistest: %s: bad want regexp %q: %v", key, lit, err)
+					}
+					wants[key] = append(wants[key], &want{re: re, raw: lit})
+				}
+			}
+		}
+	}
+
+	for _, f := range tp.findings {
+		pos := fset.Position(f.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, f.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.raw)
+			}
+		}
+	}
+}
+
+// splitLiterals parses the space-separated Go string literals after
+// `want`.
+func splitLiterals(t *testing.T, comment, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte
+		switch s[0] {
+		case '"', '`':
+			quote = s[0]
+		default:
+			t.Fatalf("analysistest: malformed want comment %q", comment)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("analysistest: unterminated literal in want comment %q", comment)
+		}
+		lit, err := strconv.Unquote(s[:end+2])
+		if err != nil {
+			t.Fatalf("analysistest: bad literal in want comment %q: %v", comment, err)
+		}
+		out = append(out, lit)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}
+
+// checkGolden applies the findings' suggested fixes and compares each
+// changed file with its .golden sibling.
+func checkGolden(t *testing.T, fset *token.FileSet, tp *testPkg) {
+	t.Helper()
+	fixed, err := analysis.ApplyFixes(fset, tp.findings)
+	if err != nil {
+		t.Fatalf("analysistest: applying fixes: %v", err)
+	}
+	for _, file := range tp.files {
+		goldenFile := file + ".golden"
+		golden, err := os.ReadFile(goldenFile)
+		if os.IsNotExist(err) {
+			if _, changed := fixed[file]; changed {
+				t.Errorf("analysistest: fixes modify %s but no .golden file exists", file)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := fixed[file]
+		if !ok {
+			got, err = os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if string(got) != string(golden) {
+			t.Errorf("analysistest: fix output for %s does not match %s:\n--- got ---\n%s\n--- want ---\n%s",
+				file, goldenFile, got, golden)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// flagBad reports a diagnostic at every call to a function named "bad".
+var flagBad = &Analyzer{
+	Name: "flagbad",
+	Doc:  "test analyzer: flags calls to bad()",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bad" {
+					pass.Reportf(call.Pos(), "call to bad")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func check(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := &LoadedPackage{Fset: fset, Files: []*ast.File{file}, Pkg: pkg, Info: info}
+	_, findings, err := RunAnalyzers(lp, []*Analyzer{flagBad}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func messages(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Analyzer+": "+f.Message)
+	}
+	return out
+}
+
+func TestNolintJustifiedSuppresses(t *testing.T) {
+	fs := check(t, `package p
+func bad() {}
+func f() {
+	bad() //nolint:hafw/flagbad // reviewed: fixture call
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("expected suppression, got %v", messages(fs))
+	}
+}
+
+func TestNolintStandaloneAppliesToNextLine(t *testing.T) {
+	fs := check(t, `package p
+func bad() {}
+func f() {
+	//nolint:hafw/flagbad // reviewed: fixture call
+	bad()
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("expected suppression, got %v", messages(fs))
+	}
+}
+
+func TestNolintUnjustifiedIsAFinding(t *testing.T) {
+	fs := check(t, `package p
+func bad() {}
+func f() {
+	bad() //nolint:hafw/flagbad
+}
+`)
+	if len(fs) != 2 {
+		t.Fatalf("expected the original finding plus the nolint finding, got %v", messages(fs))
+	}
+	var sawNolint, sawOriginal bool
+	for _, f := range fs {
+		switch f.Analyzer {
+		case "nolint":
+			sawNolint = true
+			if !strings.Contains(f.Message, "requires a justification") {
+				t.Errorf("nolint finding message = %q", f.Message)
+			}
+		case "flagbad":
+			sawOriginal = true
+		}
+	}
+	if !sawNolint || !sawOriginal {
+		t.Fatalf("missing expected findings: %v", messages(fs))
+	}
+}
+
+func TestNolintWrongAnalyzerDoesNotSuppress(t *testing.T) {
+	fs := check(t, `package p
+func bad() {}
+func f() {
+	bad() //nolint:hafw/other // justification present, analyzer mismatched
+}
+`)
+	if len(fs) != 1 || fs[0].Analyzer != "flagbad" {
+		t.Fatalf("expected only the original finding, got %v", messages(fs))
+	}
+}
+
+func TestForeignNolintIgnored(t *testing.T) {
+	fs := check(t, `package p
+func bad() {}
+func f() {
+	bad() //nolint:errcheck
+}
+`)
+	if len(fs) != 1 || fs[0].Analyzer != "flagbad" {
+		t.Fatalf("foreign nolint must neither suppress nor be policed, got %v", messages(fs))
+	}
+}

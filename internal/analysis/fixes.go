@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix attached to the findings and
+// returns the rewritten file contents, keyed by file name. Files without
+// edits are absent from the result. Edits within a file are applied
+// back-to-front so earlier offsets stay valid; overlapping edits are an
+// error (the caller should re-run analysis after applying one round).
+func ApplyFixes(fset *token.FileSet, findings []Finding) (map[string][]byte, error) {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := make(map[string][]edit)
+	for _, f := range findings {
+		for _, fix := range f.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				start := fset.Position(te.Pos)
+				end := start
+				if te.End.IsValid() {
+					end = fset.Position(te.End)
+				}
+				if end.Filename != start.Filename {
+					return nil, fmt.Errorf("fix %q spans files", fix.Message)
+				}
+				perFile[start.Filename] = append(perFile[start.Filename],
+					edit{start: start.Offset, end: end.Offset, text: te.NewText})
+			}
+		}
+	}
+	out := make(map[string][]byte, len(perFile))
+	for name, edits := range perFile {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for i, e := range edits {
+			if i > 0 && e.end > edits[i-1].start {
+				return nil, fmt.Errorf("%s: overlapping suggested fixes; apply and re-run", name)
+			}
+			if e.start < 0 || e.end > len(src) || e.start > e.end {
+				return nil, fmt.Errorf("%s: suggested fix out of range", name)
+			}
+			src = append(src[:e.start], append(append([]byte(nil), e.text...), src[e.end:]...)...)
+		}
+		out[name] = src
+	}
+	return out, nil
+}

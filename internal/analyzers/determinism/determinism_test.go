@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"hafw/internal/analysis/analysistest"
+	"hafw/internal/analyzers/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "a")
+}
+
+func TestSortSliceFix(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, analysistest.TestData(), determinism.Analyzer, "fix")
+}

@@ -1,0 +1,107 @@
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"b"
+)
+
+//hafw:deterministic
+func UsesClock() time.Time { // want `UsesClock is marked //hafw:deterministic but calls time\.Now, which reads the wall clock`
+	return time.Now()
+}
+
+//hafw:deterministic
+func MapOrder(m map[string]int) []string { // want `ranges over a map appending to "out" without sorting it afterwards`
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+//hafw:deterministic
+func SortedMapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+//hafw:deterministic
+func KeyIndexed(m map[int]string, out []string) {
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+//hafw:deterministic
+func SliceWrite(m map[string]int, out []string) { // want `writes map-iteration-ordered values into a slice`
+	i := 0
+	for k := range m {
+		out[i] = k
+		i++
+	}
+}
+
+//hafw:deterministic
+func ChannelSink(m map[string]int, c chan string) { // want `sends map-iteration-ordered values on a channel`
+	for k := range m {
+		c <- k
+	}
+}
+
+//hafw:deterministic
+func Chain() int { // want `Chain is marked //hafw:deterministic but calls helper, which calls math/rand\.Int, which uses the global random source`
+	return helper()
+}
+
+func helper() int { return rand.Int() }
+
+//hafw:deterministic
+func CrossPackage() int { // want `calls b\.Impure, which calls time\.Now, which reads the wall clock`
+	return b.Impure()
+}
+
+//hafw:deterministic
+func CrossPackageClean() int {
+	return b.Pure()
+}
+
+//hafw:deterministic
+func Spawns() { // want `spawns a goroutine`
+	go func() {}()
+}
+
+//hafw:deterministic
+func Selects(c chan int) int { // want `uses select`
+	select {
+	case v := <-c:
+		return v
+	default:
+		return 0
+	}
+}
+
+//hafw:deterministic
+func Suppressed() time.Time { //nolint:hafw/determinism // test fixture: exercises the justified escape hatch
+	return time.Now()
+}
+
+// LocalAccumulator appends only to a slice declared inside the loop; the
+// iteration order never escapes.
+//
+//hafw:deterministic
+func LocalAccumulator(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}

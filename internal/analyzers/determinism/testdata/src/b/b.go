@@ -1,0 +1,9 @@
+package b
+
+import "time"
+
+// Impure is nondeterministic; the fact crosses into package a.
+func Impure() int { return time.Now().Nanosecond() }
+
+// Pure is deterministic.
+func Pure() int { return 42 }

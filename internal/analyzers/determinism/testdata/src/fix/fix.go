@@ -1,0 +1,15 @@
+package fix
+
+import "sort"
+
+//hafw:deterministic
+func Keys(m map[string]int) []string { // want `ranges over a map appending to "out" without sorting it afterwards`
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sorted keeps the sort import used before the fix is applied.
+func Sorted(xs []string) { sort.Strings(xs) }

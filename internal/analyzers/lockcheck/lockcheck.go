@@ -1,0 +1,367 @@
+// Package lockcheck implements the halint pass that guards the
+// framework's locking discipline. The GCS stack (core, vsync, gcs) keeps
+// blocking work out of critical sections: a sync.Mutex or sync.RWMutex
+// must never be held across a channel operation or a transport call
+// (either can block indefinitely — under a view change, forever), and
+// every Lock must be paired with an Unlock on every return path of the
+// same function. The pass also flags the t.Fatal family inside goroutines
+// spawned by tests, which (per testing.T's contract) must only be called
+// from the test goroutine.
+//
+// The analysis is intra-procedural by design: the codebase's convention
+// is that a function either owns the whole lock/unlock pair or is a
+// `...Locked` helper that takes the mutex as a precondition, so
+// single-function analysis matches the discipline being enforced.
+package lockcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hafw/internal/analysis"
+	"hafw/internal/analyzers/astx"
+	"hafw/internal/analyzers/flow"
+)
+
+// Analyzer is the lockcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "checks that mutexes are released on every return path and never held across channel operations or transport calls, and that t.Fatal is not called from spawned goroutines",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, n.Body)
+			case *ast.FuncLit:
+				// Each literal is analyzed as its own function; the walker
+				// does not descend into nested literals, and this Inspect
+				// continues into them, so every body is visited once.
+				checkFunc(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockInfo is the flow.Hold payload for one acquired mutex.
+type lockInfo struct {
+	pos     token.Pos // the Lock/RLock call
+	stmtEnd token.Pos // end of the acquiring statement (NoPos if nested)
+	call    string    // rendered "s.mu.Lock()" for diagnostics
+	unlock  string    // the matching release method name
+	recv    string    // rendered receiver, e.g. "s.mu"
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	// untracked collects mutexes manipulated in ways the walker cannot
+	// follow (TryLock, locks acquired inside nested function literals,
+	// conditional unlock helpers passed elsewhere): drop all findings for
+	// them rather than guess.
+	untracked := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := mutexMethod(pass, call); fn != nil && (fn.Name() == "TryLock" || fn.Name() == "TryRLock") {
+			untracked[lockKey(pass, call, fn)] = true
+		}
+		return true
+	})
+
+	// hasUnlock records mutexes the function releases explicitly
+	// somewhere; the mechanical defer-insertion fix is only safe when the
+	// function never unlocks by hand.
+	hasUnlock := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := mutexMethod(pass, call); fn != nil && isUnlock(fn.Name()) {
+			hasUnlock[lockKey(pass, call, fn)] = true
+		}
+		return true
+	})
+
+	reported := make(map[token.Pos]bool) // one finding per Lock call
+
+	flow.Walk(body, flow.Hooks{
+		OnAtom: func(n ast.Node, st flow.State) {
+			atom(pass, n, st, untracked)
+		},
+		OnExit: func(n ast.Node, st flow.State) {
+			for key, h := range st {
+				li := h.Data.(*lockInfo)
+				if h.Level != flow.Definitely || h.Deferred || reported[li.pos] {
+					continue
+				}
+				reported[li.pos] = true
+				d := analysis.Diagnostic{
+					Pos: li.pos,
+					Message: fmt.Sprintf("%s is not released on every return path; unlock or use defer %s.%s()",
+						li.call, li.recv, li.unlock),
+				}
+				if !hasUnlock[key] && li.stmtEnd.IsValid() {
+					d.SuggestedFixes = []analysis.SuggestedFix{{
+						Message: fmt.Sprintf("defer %s.%s() after the %s", li.recv, li.unlock, li.call),
+						TextEdits: []analysis.TextEdit{{
+							Pos:     li.stmtEnd,
+							End:     li.stmtEnd,
+							NewText: []byte(astx.Indent(pass.Fset, li.pos) + "defer " + li.recv + "." + li.unlock + "()"),
+						}},
+					}}
+				}
+				pass.Report(d)
+			}
+		},
+		Terminates: func(n ast.Node) bool { return terminates(pass, n) },
+	})
+}
+
+// atom interprets one atomic statement: acquires/releases mutexes and
+// reports blocking operations performed while a mutex is held.
+func atom(pass *analysis.Pass, n ast.Node, st flow.State, untracked map[string]bool) {
+	// Defer of the matching unlock covers every exit path.
+	if def, ok := n.(*ast.DeferStmt); ok {
+		if fn := mutexMethod(pass, def.Call); fn != nil && isUnlock(fn.Name()) {
+			key := lockKey(pass, def.Call, fn)
+			if h, ok := st[key]; ok {
+				h.Deferred = true
+				st[key] = h
+			}
+			return
+		}
+	}
+
+	// Scan the atom's subtree (sans function literals, which run later)
+	// for lock operations and blocking operations.
+	held := func() *lockInfo {
+		best := ""
+		for key := range st {
+			if untracked[key] {
+				continue
+			}
+			if best == "" || key < best {
+				best = key
+			}
+		}
+		if best == "" {
+			return nil
+		}
+		return st[best].Data.(*lockInfo)
+	}
+
+	if sel, ok := n.(*ast.SelectStmt); ok {
+		if li := held(); li != nil {
+			pass.Reportf(sel.Pos(), "select while %s is held (acquired at %s); blocking channel operations must not run under a mutex",
+				li.recv, pass.Fset.Position(li.pos))
+		}
+		return
+	}
+
+	astx.InspectNoFuncLit(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.SendStmt:
+			if li := held(); li != nil {
+				pass.Reportf(m.Arrow, "channel send while %s is held (acquired at %s)",
+					li.recv, pass.Fset.Position(li.pos))
+			}
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				if li := held(); li != nil {
+					pass.Reportf(m.OpPos, "channel receive while %s is held (acquired at %s)",
+						li.recv, pass.Fset.Position(li.pos))
+				}
+			}
+		case *ast.CallExpr:
+			if fn := mutexMethod(pass, m); fn != nil {
+				key := lockKey(pass, m, fn)
+				if untracked[key] {
+					return true
+				}
+				switch fn.Name() {
+				case "Lock", "RLock":
+					recv := astx.ExprString(pass.Fset, astx.RecvOf(m))
+					stmtEnd := token.NoPos
+					if es, ok := n.(*ast.ExprStmt); ok && es.X == ast.Expr(m) {
+						stmtEnd = es.End()
+					}
+					st[key] = flow.Hold{Level: flow.Definitely, Data: &lockInfo{
+						pos:     m.Pos(),
+						stmtEnd: stmtEnd,
+						call:    recv + "." + fn.Name() + "()",
+						unlock:  matchingUnlock(fn.Name()),
+						recv:    recv,
+					}}
+				case "Unlock", "RUnlock":
+					delete(st, key)
+				}
+				return true
+			}
+			if fn := astx.CalleeOf(pass.TypesInfo, m); fn != nil {
+				if isTransportCall(fn) && !inTransportLayer(pass.Pkg.Path()) {
+					if li := held(); li != nil {
+						pass.Reportf(m.Pos(), "transport call %s while %s is held (acquired at %s); transport I/O can block and must not run under a mutex",
+							fn.Name(), li.recv, pass.Fset.Position(li.pos))
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// t.Fatal family inside a spawned goroutine (only meaningful in
+	// tests, but the testing package is only imported there).
+	if g, ok := n.(*ast.GoStmt); ok {
+		ast.Inspect(g, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := astx.CalleeOf(pass.TypesInfo, call); fn != nil && isFatalFamily(fn) {
+				pass.Reportf(call.Pos(), "t.%s called from a goroutine spawned by the test; use t.Error or signal the test goroutine instead",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+func matchingUnlock(lockName string) string {
+	if lockName == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+func isUnlock(name string) bool { return name == "Unlock" || name == "RUnlock" }
+
+// mutexMethod resolves a call to a sync.Mutex/RWMutex method (directly or
+// through an embedded field), or nil.
+func mutexMethod(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	fn := astx.CalleeOf(pass.TypesInfo, call)
+	if fn == nil {
+		return nil
+	}
+	named := astx.RecvNamed(fn)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return nil
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return fn
+	}
+	return nil
+}
+
+// lockKey canonicalizes the guarded mutex: the receiver expression
+// rendered as source, plus R/W mode so RLock pairs with RUnlock.
+func lockKey(pass *analysis.Pass, call *ast.CallExpr, fn *types.Func) string {
+	mode := "w"
+	if strings.HasPrefix(fn.Name(), "R") && fn.Name() != "RLocker" {
+		mode = "r"
+	}
+	return astx.ExprString(pass.Fset, astx.RecvOf(call)) + "/" + mode
+}
+
+// isTransportCall reports whether fn is a blocking entry point of the
+// transport layer (declared in hafw/internal/transport or one of its
+// backends). Only the I/O surface counts: queries like Crashed or
+// Connected return immediately and are safe under a mutex.
+func isTransportCall(fn *types.Func) bool {
+	switch fn.Name() {
+	case "Send", "Broadcast", "Dial":
+	default:
+		return false
+	}
+	if fn.Pkg() == nil {
+		return false
+	}
+	paths := []string{fn.Pkg().Path()}
+	if named := astx.RecvNamed(fn); named != nil && named.Obj().Pkg() != nil {
+		paths = append(paths, named.Obj().Pkg().Path())
+	}
+	for _, p := range paths {
+		if inTransportLayer(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// inTransportLayer reports whether the package path is part of the
+// transport layer itself; its internals manage their own locking and are
+// not judged against the "no transport calls under a mutex" rule.
+func inTransportLayer(path string) bool {
+	return astx.ModulePathSuffix(path, "internal/transport") ||
+		astx.ModulePathSuffix(path, "internal/transport/memnet") ||
+		astx.ModulePathSuffix(path, "internal/transport/tcpnet")
+}
+
+// isFatalFamily reports whether fn is one of testing.T's
+// must-run-on-the-test-goroutine methods.
+func isFatalFamily(fn *types.Func) bool {
+	named := astx.RecvNamed(fn)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "testing" {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "T", "B", "F", "common":
+	default:
+		return false
+	}
+	switch fn.Name() {
+	case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+		return true
+	}
+	return false
+}
+
+// terminates reports whether the atom unconditionally ends the path.
+func terminates(pass *analysis.Pass, n ast.Node) bool {
+	stmt, ok := n.(ast.Stmt)
+	if !ok {
+		return false
+	}
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	}
+	fn := astx.CalleeOf(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	switch {
+	case astx.IsFunc(fn, "os", "Exit"),
+		astx.IsFunc(fn, "runtime", "Goexit"),
+		astx.IsFunc(fn, "log", "Fatal"),
+		astx.IsFunc(fn, "log", "Fatalf"),
+		astx.IsFunc(fn, "log", "Fatalln"):
+		return true
+	}
+	if isFatalFamily(fn) {
+		return true
+	}
+	return false
+}

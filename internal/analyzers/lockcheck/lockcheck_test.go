@@ -1,0 +1,16 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"hafw/internal/analysis/analysistest"
+	"hafw/internal/analyzers/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockcheck.Analyzer, "lock")
+}
+
+func TestDeferUnlockFix(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, analysistest.TestData(), lockcheck.Analyzer, "lockfix")
+}

@@ -1,0 +1,14 @@
+package lockfix
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) Incr() int {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) is not released on every return path`
+	s.n++
+	return s.n
+}

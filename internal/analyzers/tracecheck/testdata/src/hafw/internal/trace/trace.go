@@ -1,0 +1,13 @@
+package trace
+
+// Recorder is a stub of the framework's trace recorder.
+type Recorder struct{}
+
+// Span is a stub of an in-flight timed operation.
+type Span struct{}
+
+// StartSpan opens a span.
+func (r *Recorder) StartSpan(node, session, detail string) *Span { return &Span{} }
+
+// End closes a span.
+func (s *Span) End() {}

@@ -1,0 +1,175 @@
+// Package tracecheck implements the halint pass that keeps the
+// experiment traces honest: a trace.Span opened with
+// (*trace.Recorder).StartSpan must be ended on every path that leaves
+// the function that opened it. A leaked span silently drops a latency
+// sample, which skews exactly the failover measurements the framework
+// exists to report.
+//
+// Ownership transfer ends the obligation: returning the span, storing it
+// in a field or map, or passing it to another function hands the End
+// responsibility to the new owner (mirroring how the lostcancel vet check
+// treats context cancel functions).
+package tracecheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hafw/internal/analysis"
+	"hafw/internal/analyzers/astx"
+	"hafw/internal/analyzers/flow"
+)
+
+// Analyzer is the tracecheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "tracecheck",
+	Doc:  "checks that trace spans opened with StartSpan are ended on every return path (or have their ownership transferred)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, n.Body)
+			case *ast.FuncLit:
+				checkFunc(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type spanInfo struct {
+	pos token.Pos // the StartSpan call
+	obj types.Object
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	reported := make(map[token.Pos]bool)
+	flow.Walk(body, flow.Hooks{
+		OnAtom: func(n ast.Node, st flow.State) { atom(pass, n, st) },
+		OnExit: func(n ast.Node, st flow.State) {
+			for _, h := range st {
+				si := h.Data.(*spanInfo)
+				if h.Level != flow.Definitely || h.Deferred || reported[si.pos] {
+					continue
+				}
+				reported[si.pos] = true
+				pass.Reportf(si.pos, "span %s is not ended on every return path; add defer %s.End()",
+					si.obj.Name(), si.obj.Name())
+			}
+		},
+	})
+}
+
+func atom(pass *analysis.Pass, n ast.Node, st flow.State) {
+	// defer sp.End() covers every exit path.
+	if def, ok := n.(*ast.DeferStmt); ok {
+		if obj := endCallReceiver(pass, def.Call); obj != nil {
+			key := spanKey(obj)
+			if h, ok := st[key]; ok {
+				h.Deferred = true
+				st[key] = h
+			}
+			return
+		}
+	}
+
+	// sp := r.StartSpan(...) acquires the obligation.
+	if assign, ok := n.(*ast.AssignStmt); ok && len(assign.Lhs) == 1 && len(assign.Rhs) == 1 {
+		if call, ok := assign.Rhs[0].(*ast.CallExpr); ok && isStartSpan(pass, call) {
+			if id, ok := assign.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj != nil {
+					st[spanKey(obj)] = flow.Hold{Level: flow.Definitely, Data: &spanInfo{pos: call.Pos(), obj: obj}}
+					return
+				}
+			}
+		}
+	}
+
+	// Any other mention of a tracked span either ends it or transfers
+	// ownership; both discharge the obligation.
+	astx.InspectNoFuncLit(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, tracked := st[spanKey(obj)]; tracked {
+			delete(st, spanKey(obj))
+		}
+		return true
+	})
+
+	// FuncLits capture spans too (the literal may run later and call
+	// End); treat capture as transfer.
+	ast.Inspect(n, func(m ast.Node) bool {
+		lit, ok := m.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(k ast.Node) bool {
+			if id, ok := k.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					delete(st, spanKey(obj))
+				}
+			}
+			return true
+		})
+		return false
+	})
+}
+
+func spanKey(obj types.Object) string {
+	return fmt.Sprintf("span:%s@%d", obj.Name(), obj.Pos())
+}
+
+// isStartSpan reports whether the call is (*trace.Recorder).StartSpan
+// from the framework's trace package.
+func isStartSpan(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := astx.CalleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "StartSpan" {
+		return false
+	}
+	named := astx.RecvNamed(fn)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return astx.ModulePathSuffix(named.Obj().Pkg().Path(), "internal/trace")
+}
+
+// endCallReceiver returns the span object of an `sp.End()` call, or nil.
+func endCallReceiver(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	fn := astx.CalleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "End" {
+		return nil
+	}
+	named := astx.RecvNamed(fn)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Name() != "Span" {
+		return nil
+	}
+	if !astx.ModulePathSuffix(named.Obj().Pkg().Path(), "internal/trace") {
+		return nil
+	}
+	recv := astx.RecvOf(call)
+	id, ok := ast.Unparen(recv).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.Uses[id]
+}

@@ -1,0 +1,12 @@
+package tracecheck_test
+
+import (
+	"testing"
+
+	"hafw/internal/analysis/analysistest"
+	"hafw/internal/analyzers/tracecheck"
+)
+
+func TestTracecheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), tracecheck.Analyzer, "span")
+}

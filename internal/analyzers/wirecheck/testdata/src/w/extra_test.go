@@ -1,0 +1,11 @@
+package w
+
+import "hafw/internal/wire"
+
+// TestMsg is declared in a _test.go file: it must still be registered,
+// but it is exempt from the golden schema.
+type TestMsg struct{ ID int }
+
+func (TestMsg) WireName() string { return "w.TestMsg" }
+
+func init() { wire.Register(TestMsg{}) }

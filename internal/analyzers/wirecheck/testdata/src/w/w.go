@@ -1,0 +1,52 @@
+package w
+
+import "hafw/internal/wire"
+
+type Good struct {
+	ID   int
+	Name string
+}
+
+func (Good) WireName() string { return "w.Good" }
+
+type Unregistered struct { // want `wire message Unregistered \("w\.Unregistered"\) is not registered`
+	ID int
+}
+
+func (Unregistered) WireName() string { return "w.Unregistered" }
+
+type HasUnexported struct {
+	ID  int
+	age int // want `wire message HasUnexported has unexported field age`
+}
+
+func (HasUnexported) WireName() string { return "w.HasUnexported" }
+
+type Mutated struct { // want `wire message "w\.Mutated" changes its recorded schema non-append-only`
+	ID    int
+	Extra string
+	Name  string
+}
+
+func (Mutated) WireName() string { return "w.Mutated" }
+
+type Missing struct { // want `wire message "w\.Missing" is missing from`
+	ID int
+}
+
+func (Missing) WireName() string { return "w.Missing" }
+
+type Appended struct {
+	ID   int
+	Name string
+}
+
+func (Appended) WireName() string { return "w.Appended" }
+
+func init() {
+	wire.Register(Good{})
+	wire.Register(HasUnexported{})
+	wire.Register(Mutated{})
+	wire.Register(Missing{})
+	wire.Register(Appended{})
+}

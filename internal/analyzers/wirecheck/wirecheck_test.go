@@ -1,0 +1,12 @@
+package wirecheck_test
+
+import (
+	"testing"
+
+	"hafw/internal/analysis/analysistest"
+	"hafw/internal/analyzers/wirecheck"
+)
+
+func TestWirecheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), wirecheck.Analyzer, "w")
+}

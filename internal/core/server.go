@@ -387,6 +387,8 @@ func (s *Server) GroupMembers(g ids.GroupName) []ids.ProcessID {
 
 // PrimaryOf reports the unit database's current primary for a session
 // (test and monitoring hook).
+//
+//hafw:deterministic
 func (s *Server) PrimaryOf(unit ids.UnitName, sid ids.SessionID) ids.ProcessID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -450,6 +452,10 @@ func (s *Server) onEvent(e gcs.Event) {
 }
 
 func (s *Server) onViewLocked(ev gcs.ViewEvent) {
+	// Measure how long view-change handling blocks the event loop; the
+	// spans feed the failover-latency numbers in the experiments.
+	sp := s.cfg.Tracer.StartSpan(s.cfg.Self, 0, "core.view-change")
+	defer sp.End()
 	g := ev.View.Group
 	switch {
 	case g == ServiceGroup:

@@ -41,6 +41,8 @@ type counterSM struct {
 }
 
 // Apply implements rsm.StateMachine.
+//
+//hafw:deterministic
 func (c *counterSM) Apply(cmd wire.Message) wire.Message {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -222,6 +222,8 @@ func (r *Replica) onCmd(from ids.EndpointID, c Cmd) {
 }
 
 // apply runs one command and resolves a local waiter.
+//
+//hafw:deterministic
 func (r *Replica) apply(from ids.EndpointID, c Cmd) {
 	res := r.sm.Apply(c.Body)
 	if p, ok := from.Process(); !ok || p != r.g.Self() {

@@ -39,6 +39,9 @@ const (
 	KindResponse Kind = "response"
 	// KindUpdate marks a client update applied.
 	KindUpdate Kind = "update"
+	// KindSpan marks the completion of a timed operation opened with
+	// StartSpan; the event's Dur field holds the measured duration.
+	KindSpan Kind = "span"
 )
 
 // Event is one recorded occurrence.
@@ -54,6 +57,8 @@ type Event struct {
 	Session ids.SessionID
 	// Detail is free-form context.
 	Detail string
+	// Dur is the measured duration for KindSpan events (zero otherwise).
+	Dur time.Duration
 }
 
 // Recorder accumulates events; safe for concurrent use.
@@ -72,6 +77,58 @@ func (r *Recorder) Record(node ids.ProcessID, kind Kind, session ids.SessionID, 
 	r.events = append(r.events, Event{
 		At: time.Now(), Node: node, Kind: kind, Session: session, Detail: detail,
 	})
+}
+
+// Span is one in-flight timed operation opened by StartSpan. A span must
+// be ended exactly once, on every code path that leaves the function that
+// started it — the tracecheck analyzer (cmd/halint) enforces this. Spans
+// are not safe for concurrent use; pass ownership, don't share.
+type Span struct {
+	r       *Recorder
+	node    ids.ProcessID
+	session ids.SessionID
+	detail  string
+	start   time.Time
+	ended   bool
+}
+
+// StartSpan opens a timed span; End records it as a KindSpan event with
+// its duration. StartSpan on a nil recorder returns a span whose End is a
+// no-op, so call sites don't need to guard optional tracers.
+func (r *Recorder) StartSpan(node ids.ProcessID, session ids.SessionID, detail string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, node: node, session: session, detail: detail, start: time.Now()}
+}
+
+// End closes the span, recording its duration. Ending twice (or ending a
+// nil span) is a no-op.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	s.r.events = append(s.r.events, Event{
+		At: time.Now(), Node: s.node, Kind: KindSpan, Session: s.session,
+		Detail: s.detail, Dur: time.Since(s.start),
+	})
+}
+
+// SpanDurations returns the durations of all completed spans whose detail
+// matches (all spans if detail is empty), in record order.
+func (r *Recorder) SpanDurations(detail string) []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []time.Duration
+	for _, e := range r.events {
+		if e.Kind == KindSpan && (detail == "" || e.Detail == detail) {
+			out = append(out, e.Dur)
+		}
+	}
+	return out
 }
 
 // Events returns a copy of everything recorded, in record order.

@@ -164,6 +164,6 @@ func TestUnregisteredPayloadRejected(t *testing.T) {
 	}
 }
 
-type unregistered struct{}
+type unregistered struct{} //nolint:hafw/wirecheck // fixture: must stay unregistered to exercise the Send rejection path
 
 func (unregistered) WireName() string { return "transport_test.unregistered" }

@@ -96,6 +96,8 @@ func (db *DB) Offer() Offer {
 //
 // Tombstones spread the same way: the least member holding a tombstone
 // sends it whenever some member lacks it.
+//
+//hafw:deterministic
 func (db *DB) DeltaFor(self ids.ProcessID, offers map[ids.ProcessID]Offer) Snapshot {
 	out := Snapshot{Unit: db.Unit, NextSID: db.nextSID}
 

@@ -1,0 +1,117 @@
+package unitdb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hafw/internal/ids"
+)
+
+// allocationFingerprint renders every session's allocation in session-ID
+// order, so two databases can be compared for allocation agreement.
+func allocationFingerprint(db *DB) string {
+	out := ""
+	for _, s := range db.Sessions() {
+		out += fmt.Sprintf("%d->%d%v;", s.ID, s.Primary, s.Backups)
+	}
+	return out
+}
+
+// buildShuffled populates a database with the same 40 sessions (and a few
+// tombstones), Put in a permuted order.
+func buildShuffled(rng *rand.Rand) *DB {
+	db := New("unit")
+	order := rng.Perm(40)
+	for _, i := range order {
+		id := ids.SessionID(i + 1)
+		if i%10 == 9 {
+			// Tombstone before any record can land, as a rejoining
+			// replica's merge might.
+			db.Remove(id)
+			continue
+		}
+		db.Put(Session{
+			ID:      id,
+			Client:  ids.ClientID(1000 + i),
+			Primary: ids.ProcessID(i%3 + 1),
+			Backups: []ids.ProcessID{ids.ProcessID(i%5 + 1)},
+			Context: []byte{byte(i)},
+			Stamp:   uint64(i),
+		})
+	}
+	return db
+}
+
+// TestAllocationIndependentOfInsertionOrder is the replica-agreement
+// property the determinism analyzer guards statically, checked
+// dynamically: members that assembled identical databases through
+// different event interleavings must compute identical allocations. 100
+// shuffled insertion orders must produce byte-identical results from
+// Allocate, Reallocate, and ReallocateBalanced.
+func TestAllocationIndependentOfInsertionOrder(t *testing.T) {
+	members := []ids.ProcessID{1, 2, 3, 4}
+	shrunk := []ids.ProcessID{2, 3, 4}
+
+	type result struct {
+		realloc  string
+		balanced string
+		alloc    string
+	}
+	var want result
+	for run := 0; run < 100; run++ {
+		rng := rand.New(rand.NewSource(int64(run)))
+
+		db := buildShuffled(rng)
+		db.Reallocate(members, 1)
+		got := result{realloc: allocationFingerprint(db)}
+
+		db2 := buildShuffled(rng)
+		db2.ReallocateBalanced(members, 1)
+		got.balanced = allocationFingerprint(db2)
+
+		// A view change shrinks the member set and a fresh session is
+		// allocated on top of the reallocated state.
+		db.Reallocate(shrunk, 2)
+		s := db.CreateSession(9999)
+		db.Allocate(s.ID, shrunk, 2)
+		got.alloc = allocationFingerprint(db)
+
+		if run == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("allocation depends on insertion order (run %d):\n got %+v\nwant %+v", run, got, want)
+		}
+	}
+}
+
+// TestMergeOrderIndependent checks the companion property for the
+// join-time state exchange: merging the same snapshots in any order must
+// converge every replica onto the same database.
+func TestMergeOrderIndependent(t *testing.T) {
+	snaps := make([]Snapshot, 4)
+	for i := range snaps {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		snaps[i] = buildShuffled(rng).Snapshot()
+	}
+
+	var want string
+	for run := 0; run < 100; run++ {
+		rng := rand.New(rand.NewSource(int64(run)))
+		db := New("unit")
+		for _, i := range rng.Perm(len(snaps)) {
+			db.Merge(snaps[i])
+		}
+		db.Reallocate([]ids.ProcessID{1, 2, 3}, 1)
+		got := allocationFingerprint(db)
+		if run == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("merge result depends on merge order (run %d):\n got %s\nwant %s", run, got, want)
+		}
+	}
+}

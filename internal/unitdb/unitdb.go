@@ -240,6 +240,8 @@ func (db *DB) SessionsOf(p ids.ProcessID) []ids.SessionID {
 // database, so identical databases yield identical choices everywhere.
 //
 // The session's allocation is updated in place and returned.
+//
+//hafw:deterministic
 func (db *DB) Allocate(sid ids.SessionID, members []ids.ProcessID, backups int) (ids.ProcessID, []ids.ProcessID) {
 	s := db.sessions[sid]
 	if s == nil || len(members) == 0 {
@@ -325,6 +327,8 @@ func (c Change) PrimaryChanged() bool { return c.OldPrimary != c.NewPrimary }
 // Reallocate recomputes every session's allocation against a new member
 // set (after a view change), in session-ID order so replicas make
 // identical incremental load decisions. It returns the changes.
+//
+//hafw:deterministic
 func (db *DB) Reallocate(members []ids.ProcessID, backups int) []Change {
 	var changes []Change
 	for _, s := range db.Sessions() {
@@ -346,6 +350,8 @@ func (db *DB) Reallocate(members []ids.ProcessID, backups int) []Change {
 // done ... in such a way as to balance the load fairly"). Deterministic
 // like Reallocate; used after join-time state exchanges, while crash-only
 // view changes use the movement-minimizing Reallocate.
+//
+//hafw:deterministic
 func (db *DB) ReallocateBalanced(members []ids.ProcessID, backups int) []Change {
 	if len(members) == 0 {
 		return db.Reallocate(members, backups)
@@ -473,6 +479,8 @@ func (db *DB) Restore(snap Snapshot) {
 // the join-time state exchange and then reallocate deterministically with
 // no further coordination. The session counter takes the maximum, so
 // future IDs never collide.
+//
+//hafw:deterministic
 func (db *DB) Merge(snap Snapshot) {
 	if snap.NextSID > db.nextSID {
 		db.nextSID = snap.NextSID

@@ -60,7 +60,7 @@ func TestEncodeNilPayload(t *testing.T) {
 	}
 }
 
-type unregisteredMsg struct{}
+type unregisteredMsg struct{} //nolint:hafw/wirecheck // fixture: must stay unregistered to exercise the Encode error path
 
 func (unregisteredMsg) WireName() string { return "wire.unregistered" }
 
