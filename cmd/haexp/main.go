@@ -1,6 +1,6 @@
 // Command haexp regenerates the experiment tables of EXPERIMENTS.md: the
 // quantitative reproduction of the paper's Section 4 fault-tolerance
-// analysis (experiments E1–E15, defined in DESIGN.md).
+// analysis (experiments E1–E16, defined in DESIGN.md).
 //
 // Usage:
 //
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "experiment ID (E1..E15) or \"all\"")
+		which = flag.String("exp", "all", "experiment ID (E1..E16) or \"all\"")
 		quick = flag.Bool("quick", false, "use reduced trial counts")
 		list  = flag.Bool("list", false, "list experiments and exit")
 	)

@@ -25,6 +25,7 @@ import (
 	"hafw/internal/ids"
 	"hafw/internal/loadgen"
 	"hafw/internal/metrics"
+	"hafw/internal/obs"
 	"hafw/internal/services/vod"
 	"hafw/internal/store"
 	"hafw/internal/transport/tcpnet"
@@ -32,17 +33,19 @@ import (
 
 func main() {
 	var (
-		id      = flag.Uint64("id", 0, "process ID (required, unique, > 0)")
-		listen  = flag.String("listen", "", "TCP listen address (required)")
-		peers   = flag.String("peers", "", "comma-separated id=addr peer list, including self")
-		unit    = flag.String("unit", "big-buck-bunny", "movie (content unit) to serve")
-		service = flag.String("service", "vod", "service to run: vod (streaming movie) or echo (loadgen measurement target)")
-		backups = flag.Int("backups", 1, "backup servers per session (the paper's B)")
-		prop    = flag.Duration("propagation", 500*time.Millisecond, "context propagation period (the paper's T)")
-		fps     = flag.Float64("fps", 24, "movie frame rate")
-		stats   = flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
-		dataDir = flag.String("data-dir", "", "directory for the durable unit store (empty = in-memory only)")
-		fsync   = flag.String("fsync", "interval", "fsync policy for the durable store: always, interval, or never")
+		id       = flag.Uint64("id", 0, "process ID (required, unique, > 0)")
+		listen   = flag.String("listen", "", "TCP listen address (required)")
+		peers    = flag.String("peers", "", "comma-separated id=addr peer list, including self")
+		unit     = flag.String("unit", "big-buck-bunny", "movie (content unit) to serve")
+		service  = flag.String("service", "vod", "service to run: vod (streaming movie) or echo (loadgen measurement target)")
+		backups  = flag.Int("backups", 1, "backup servers per session (the paper's B)")
+		prop     = flag.Duration("propagation", 500*time.Millisecond, "context propagation period (the paper's T)")
+		fps      = flag.Float64("fps", 24, "movie frame rate")
+		stats    = flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+		dataDir  = flag.String("data-dir", "", "directory for the durable unit store (empty = in-memory only)")
+		fsync    = flag.String("fsync", "interval", "fsync policy for the durable store: always, interval, or never")
+		httpAddr = flag.String("http", "", "ops HTTP listen address for /metrics, /statusz, /healthz, /debug/trace, /debug/pprof (empty disables)")
+		spanCap  = flag.Int("trace-spans", obs.DefaultSpanCapacity, "completed spans retained for /debug/trace")
 	)
 	flag.Parse()
 	if *id == 0 || *listen == "" || *peers == "" {
@@ -59,10 +62,13 @@ func main() {
 		log.Fatalf("bad -peers: %v", err)
 	}
 
+	reg := metrics.NewRegistry()
+	tracer := obs.NewTracer(ids.ProcessID(*id), *spanCap)
 	tr, err := tcpnet.New(tcpnet.Config{
 		Self:       ids.ProcessEndpoint(ids.ProcessID(*id)),
 		ListenAddr: *listen,
 		Peers:      peerAddrs,
+		Metrics:    reg,
 	})
 	if err != nil {
 		log.Fatalf("transport: %v", err)
@@ -80,13 +86,13 @@ func main() {
 	default:
 		log.Fatalf("unknown -service %q (want vod or echo)", *service)
 	}
-	reg := metrics.NewRegistry()
 	srv, err := core.NewServer(core.Config{
 		Self:      ids.ProcessID(*id),
 		Transport: tr,
 		World:     world,
 		DataDir:   *dataDir,
 		Fsync:     fsyncPolicy,
+		Obs:       tracer,
 		Units: []core.UnitConfig{{
 			Unit:              unitName,
 			Service:           svc,
@@ -107,6 +113,20 @@ func main() {
 		durability = fmt.Sprintf("durable at %s, fsync=%s", *dataDir, *fsync)
 	}
 	log.Printf("hanode p%d serving %q (%s service, B=%d, T=%v, %s) on %s", *id, *unit, *service, *backups, *prop, durability, tr.Addr())
+
+	if *httpAddr != "" {
+		opsAddr, opsClose, err := obs.Serve(*httpAddr, obs.ServerConfig{
+			Registry: reg,
+			Tracer:   tracer,
+			Status:   srv.Status,
+			Health:   srv.Health,
+		})
+		if err != nil {
+			log.Fatalf("ops http: %v", err)
+		}
+		defer func() { _ = opsClose() }()
+		log.Printf("ops http on %s (/metrics /statusz /healthz /debug/trace /debug/pprof)", opsAddr)
+	}
 
 	if *stats > 0 {
 		go func() {

@@ -1,0 +1,206 @@
+// Command hastat inspects a running cluster through the nodes' ops HTTP
+// endpoints: it scrapes every node's /statusz, renders a cluster table
+// (group views, session roles, freshness quantiles), and can merge every
+// node's /debug/trace ring into a single Chrome trace-event file whose
+// flow arrows follow causality across nodes.
+//
+// Usage:
+//
+//	hastat -nodes 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083
+//	hastat -nodes ... -watch 2s          # live-refreshing table
+//	hastat -nodes ... -trace failover.json  # merged trace for chrome://tracing
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"hafw/internal/metrics"
+	"hafw/internal/obs"
+)
+
+func main() {
+	var (
+		nodes    = flag.String("nodes", "", "comma-separated ops addresses (host:port or http://host:port), required")
+		watch    = flag.Duration("watch", 0, "redraw the table at this interval (0 = print once)")
+		traceOut = flag.String("trace", "", "fetch /debug/trace from every node, merge, and write Chrome trace JSON here")
+		timeout  = flag.Duration("timeout", 2*time.Second, "per-request scrape timeout")
+	)
+	flag.Parse()
+	urls := parseNodes(*nodes)
+	if len(urls) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	if *traceOut != "" {
+		if err := mergeTraces(client, urls, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "hastat: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	for {
+		render(os.Stdout, client, urls)
+		if *watch <= 0 {
+			return
+		}
+		time.Sleep(*watch)
+		fmt.Println()
+	}
+}
+
+// parseNodes normalizes the -nodes list into base URLs.
+func parseNodes(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.Contains(part, "://") {
+			part = "http://" + part
+		}
+		out = append(out, strings.TrimRight(part, "/"))
+	}
+	return out
+}
+
+// scrape fetches one node's /statusz.
+func scrape(client *http.Client, base string) (obs.NodeStatus, error) {
+	var st obs.NodeStatus
+	resp, err := client.Get(base + "/statusz")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("%s: HTTP %d", base, resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// render scrapes every node and prints the cluster table.
+func render(w *os.File, client *http.Client, urls []string) {
+	type nodeRow struct {
+		base string
+		st   obs.NodeStatus
+		err  error
+	}
+	rows := make([]nodeRow, len(urls))
+	for i, u := range urls {
+		st, err := scrape(client, u)
+		rows[i] = nodeRow{base: u, st: st, err: err}
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tADDR\tUNITS\tSESSIONS\tPRIMARY\tBACKUP\tVIEWS\tSPANS-DROPPED\tSTATUS")
+	for _, r := range rows {
+		if r.err != nil {
+			fmt.Fprintf(tw, "?\t%s\t-\t-\t-\t-\t-\t-\tunreachable: %v\n", r.base, r.err)
+			continue
+		}
+		prim, back := 0, 0
+		for _, sess := range r.st.Sessions {
+			if sess.Role == "primary" {
+				prim++
+			} else {
+				back++
+			}
+		}
+		fmt.Fprintf(tw, "p%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\tok\n",
+			r.st.Node, r.base, len(r.st.Units), len(r.st.Sessions), prim, back,
+			len(r.st.Groups), r.st.TraceDropped)
+	}
+	tw.Flush()
+
+	// Content-group views per unit: agreement across nodes is the virtual
+	// synchrony invariant made visible.
+	fmt.Fprintln(w, "\nUNITS")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "UNIT\tNODE\tVIEW\tSYNCED\tEXCHANGE\tDB-SESSIONS\tLIVE")
+	for _, r := range rows {
+		for _, u := range r.st.Units {
+			fmt.Fprintf(tw, "%s\tp%d\t%s\t%v\t%v\t%d\t%d\n",
+				u.Unit, r.st.Node, u.View, u.Synced, u.ExchangeOpen, u.DBSessions, u.Live)
+		}
+	}
+	tw.Flush()
+
+	// Cluster freshness: merge every node's histogram export so the
+	// quantiles describe the deployment, not one replica.
+	merged := map[string]*metrics.Histogram{}
+	for _, r := range rows {
+		for name, he := range r.st.Histograms {
+			if h := merged[name]; h != nil {
+				h.Merge(metrics.FromExport(he))
+			} else {
+				merged[name] = metrics.FromExport(he)
+			}
+		}
+	}
+	names := make([]string, 0, len(merged))
+	for name := range merged {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "\nCLUSTER LATENCIES (merged across nodes)")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "HISTOGRAM\tCOUNT\tP50\tP99\tMAX")
+	for _, name := range names {
+		h := merged[name]
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%v\t%v\n",
+			name, h.Count(), h.Quantile(0.50), h.Quantile(0.99), h.Max())
+	}
+	tw.Flush()
+}
+
+// mergeTraces fetches every node's span ring and writes one Chrome
+// trace-event file linking spans causally across nodes.
+func mergeTraces(client *http.Client, urls []string, out string) error {
+	var dumps []obs.TraceDump
+	for _, u := range urls {
+		resp, err := client.Get(u + "/debug/trace")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hastat: skipping %s: %v\n", u, err)
+			continue
+		}
+		var dump obs.TraceDump
+		err = json.NewDecoder(resp.Body).Decode(&dump)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("%s/debug/trace: %w", u, err)
+		}
+		dumps = append(dumps, dump)
+	}
+	if len(dumps) == 0 {
+		return fmt.Errorf("no node answered /debug/trace")
+	}
+	events := obs.MergeChrome(dumps)
+	data, err := obs.EncodeChrome(events)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	spans := 0
+	for _, d := range dumps {
+		spans += len(d.Spans)
+	}
+	fmt.Printf("wrote %s: %d spans from %d nodes, %d cross-node causal links (open in chrome://tracing or https://ui.perfetto.dev)\n",
+		out, spans, len(dumps), obs.CrossNodeLinks(dumps))
+	return nil
+}

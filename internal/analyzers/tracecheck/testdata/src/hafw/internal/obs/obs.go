@@ -1,0 +1,22 @@
+package obs
+
+// TraceContext is a stub of the wire-propagated trace context.
+type TraceContext struct{ TraceID, SpanID, ParentID uint64 }
+
+// Tracer is a stub of the causal span tracer.
+type Tracer struct{}
+
+// Span is a stub of an in-flight causal span.
+type Span struct{}
+
+// StartRoot opens a span beginning a new trace.
+func (t *Tracer) StartRoot(name string) *Span { return &Span{} }
+
+// StartChild opens a span caused by parent.
+func (t *Tracer) StartChild(name string, parent TraceContext) *Span { return &Span{} }
+
+// Context returns the span's trace context.
+func (s *Span) Context() TraceContext { return TraceContext{} }
+
+// End closes a span.
+func (s *Span) End() {}

@@ -1,0 +1,53 @@
+package obsspan
+
+import "hafw/internal/obs"
+
+func LeakRoot(t *obs.Tracer, cond bool) {
+	sp := t.StartRoot("core.view-change") // want `span sp is not ended on every return path`
+	if cond {
+		return
+	}
+	sp.End()
+}
+
+func LeakChild(t *obs.Tracer, tc obs.TraceContext, c chan int) {
+	sp := t.StartChild("core.request", tc) // want `span sp is not ended on every return path`
+	if <-c == 0 {
+		sp.End()
+		return
+	}
+}
+
+func DeferEnd(t *obs.Tracer, tc obs.TraceContext, cond bool) {
+	sp := t.StartChild("core.request", tc)
+	defer sp.End()
+	if cond {
+		return
+	}
+}
+
+func EndOnAllPaths(t *obs.Tracer, cond bool) {
+	sp := t.StartRoot("core.propagate")
+	if cond {
+		sp.End()
+		return
+	}
+	sp.End()
+}
+
+func Transfer(t *obs.Tracer) *obs.Span {
+	sp := t.StartRoot("core.view-change")
+	return sp
+}
+
+func ContextUseStillLeaks(t *obs.Tracer, stamp func(obs.TraceContext), cond bool) {
+	// Reading the span's context transfers ownership per the analyzer's
+	// conservative model (any mention discharges), so no diagnostic here;
+	// pin that behavior so a future tightening is a conscious choice.
+	sp := t.StartRoot("core.end-session")
+	stamp(sp.Context())
+	if cond {
+		return
+	}
+	sp.End()
+}

@@ -1,9 +1,10 @@
 // Package tracecheck implements the halint pass that keeps the
 // experiment traces honest: a trace.Span opened with
-// (*trace.Recorder).StartSpan must be ended on every path that leaves
-// the function that opened it. A leaked span silently drops a latency
-// sample, which skews exactly the failover measurements the framework
-// exists to report.
+// (*trace.Recorder).StartSpan — or an obs.Span opened with
+// (*obs.Tracer).StartRoot / StartChild — must be ended on every path that
+// leaves the function that opened it. A leaked span silently drops a
+// latency sample, which skews exactly the failover measurements the
+// framework exists to report.
 //
 // Ownership transfer ends the obligation: returning the span, storing it
 // in a field or map, or passing it to another function hands the End
@@ -139,18 +140,32 @@ func spanKey(obj types.Object) string {
 	return fmt.Sprintf("span:%s@%d", obj.Name(), obj.Pos())
 }
 
-// isStartSpan reports whether the call is (*trace.Recorder).StartSpan
-// from the framework's trace package.
+// spanPackage reports whether pkgPath is one of the packages whose spans
+// tracecheck tracks: the experiment recorder (internal/trace) and the
+// causal tracer (internal/obs).
+func spanPackage(pkgPath string) bool {
+	return astx.ModulePathSuffix(pkgPath, "internal/trace") ||
+		astx.ModulePathSuffix(pkgPath, "internal/obs")
+}
+
+// isStartSpan reports whether the call opens a tracked span:
+// (*trace.Recorder).StartSpan, (*obs.Tracer).StartRoot, or
+// (*obs.Tracer).StartChild.
 func isStartSpan(pass *analysis.Pass, call *ast.CallExpr) bool {
 	fn := astx.CalleeOf(pass.TypesInfo, call)
-	if fn == nil || fn.Name() != "StartSpan" {
+	if fn == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "StartSpan", "StartRoot", "StartChild":
+	default:
 		return false
 	}
 	named := astx.RecvNamed(fn)
 	if named == nil || named.Obj().Pkg() == nil {
 		return false
 	}
-	return astx.ModulePathSuffix(named.Obj().Pkg().Path(), "internal/trace")
+	return spanPackage(named.Obj().Pkg().Path())
 }
 
 // endCallReceiver returns the span object of an `sp.End()` call, or nil.
@@ -163,7 +178,7 @@ func endCallReceiver(pass *analysis.Pass, call *ast.CallExpr) types.Object {
 	if named == nil || named.Obj().Pkg() == nil || named.Obj().Name() != "Span" {
 		return nil
 	}
-	if !astx.ModulePathSuffix(named.Obj().Pkg().Path(), "internal/trace") {
+	if !spanPackage(named.Obj().Pkg().Path()) {
 		return nil
 	}
 	recv := astx.RecvOf(call)

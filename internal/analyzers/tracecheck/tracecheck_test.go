@@ -8,5 +8,5 @@ import (
 )
 
 func TestTracecheck(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), tracecheck.Analyzer, "span")
+	analysistest.Run(t, analysistest.TestData(), tracecheck.Analyzer, "span", "obsspan")
 }

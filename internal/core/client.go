@@ -9,6 +9,7 @@ import (
 	"hafw/internal/gcs"
 	"hafw/internal/ids"
 	"hafw/internal/metrics"
+	"hafw/internal/obs"
 	"hafw/internal/transport"
 	"hafw/internal/wire"
 )
@@ -43,6 +44,10 @@ type ClientConfig struct {
 	// experiment harness uses it to detect dual-primary windows (two
 	// servers concurrently answering one session — paper Section 4).
 	OnResponseFrom func(from ids.EndpointID, session ids.SessionID, seq uint64, body wire.Message)
+	// Obs, if set, roots a trace per client call and stamps its context
+	// onto outgoing requests, so server-side handling spans (and the
+	// responses they cause) link back to the originating call.
+	Obs *obs.Tracer
 }
 
 // Client metric names, recorded in the per-client registry (see Stats).
@@ -165,6 +170,7 @@ func (c *Client) onMessage(from ids.EndpointID, m wire.Message) {
 			w <- msg
 		}
 	case SessionStarted:
+		c.noteArrival("client.session-started", msg.TC)
 		// Pop exactly one waiter: each SessionStarted names a distinct
 		// session, so handing it to every waiter would alias concurrent
 		// StartSession calls onto one session.
@@ -191,6 +197,7 @@ func (c *Client) onMessage(from ids.EndpointID, m wire.Message) {
 			close(w)
 		}
 	case Response:
+		c.noteArrival("client.response", msg.TC)
 		c.reg.Counter(mResponses).Inc()
 		if c.cfg.OnResponseFrom != nil {
 			c.cfg.OnResponseFrom(from, msg.Session, msg.Seq, msg.Body)
@@ -202,6 +209,16 @@ func (c *Client) onMessage(from ids.EndpointID, m wire.Message) {
 			sess.deliver(msg.Seq, msg.Body)
 		}
 	}
+}
+
+// noteArrival records a point span linking an inbound server message into
+// the trace that caused it (no-op for untraced messages).
+func (c *Client) noteArrival(name string, tc wire.TraceContext) {
+	if tc.IsZero() {
+		return
+	}
+	sp := c.cfg.Obs.StartChild(name, tc)
+	sp.End()
 }
 
 // ListUnits asks the service group for the available content units.
@@ -257,6 +274,9 @@ func (c *Client) WaitUnit(unit ids.UnitName, replicas int, timeout time.Duration
 // session's response stream; it may be nil for request-free probing.
 func (c *Client) StartSession(unit ids.UnitName, h ResponseHandler) (*ClientSession, error) {
 	c.reg.Counter(mCalls).Inc()
+	tc := c.cfg.Obs.RootContext()
+	t0 := time.Now()
+	defer c.cfg.Obs.RecordSpan("client.start-session", tc, t0)
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			c.reg.Counter(mRetries).Inc()
@@ -266,7 +286,7 @@ func (c *Client) StartSession(unit ids.UnitName, h ResponseHandler) (*ClientSess
 		c.startWait[unit] = append(c.startWait[unit], ch)
 		c.mu.Unlock()
 		c.invalidate(ContentGroup(unit))
-		if err := c.g.SendToGroup(ContentGroup(unit), StartSession{Unit: unit}); err != nil {
+		if err := c.g.SendToGroupTC(ContentGroup(unit), StartSession{Unit: unit}, tc); err != nil {
 			c.reg.Counter(mSendErrors).Inc()
 			return nil, fmt.Errorf("start session on %s: %w", unit, err)
 		}
@@ -338,11 +358,14 @@ func (s *ClientSession) deliver(seq uint64, body wire.Message) {
 // regardless of membership changes.
 func (s *ClientSession) Send(body wire.Message) error {
 	s.c.reg.Counter(mSends).Inc()
+	tc := s.c.cfg.Obs.RootContext()
+	t0 := time.Now()
 	s.c.invalidate(s.Group)
-	err := s.c.g.SendToGroup(s.Group, ClientRequest{Session: s.ID, Body: body})
+	err := s.c.g.SendToGroupTC(s.Group, ClientRequest{Session: s.ID, Body: body}, tc)
 	if err != nil {
 		s.c.reg.Counter(mSendErrors).Inc()
 	}
+	s.c.cfg.Obs.RecordSpan("client.request", tc, t0)
 	return err
 }
 
@@ -351,6 +374,9 @@ func (s *ClientSession) Send(body wire.Message) error {
 // and the server's idle timeout eventually collects it).
 func (s *ClientSession) End() error {
 	s.c.reg.Counter(mCalls).Inc()
+	tc := s.c.cfg.Obs.RootContext()
+	t0 := time.Now()
+	defer s.c.cfg.Obs.RecordSpan("client.end-session", tc, t0)
 	var err error
 	for attempt := 0; attempt <= s.c.cfg.Retries; attempt++ {
 		if attempt > 0 {
@@ -361,7 +387,7 @@ func (s *ClientSession) End() error {
 		s.c.endWait[s.ID] = append(s.c.endWait[s.ID], ch)
 		s.c.mu.Unlock()
 		s.c.invalidate(s.Group)
-		if err = s.c.g.SendToGroup(s.Group, EndSession{Session: s.ID}); err != nil {
+		if err = s.c.g.SendToGroupTC(s.Group, EndSession{Session: s.ID}, tc); err != nil {
 			s.c.reg.Counter(mSendErrors).Inc()
 			break
 		}

@@ -77,6 +77,9 @@ type SessionStarted struct {
 	Session ids.SessionID
 	// Group is the session group the client should address from now on.
 	Group ids.GroupName
+	// TC is the responding primary's trace context (causally downstream of
+	// the client's StartSession), for the observability layer.
+	TC wire.TraceContext
 }
 
 // WireName implements wire.Message.
@@ -121,6 +124,10 @@ type Response struct {
 	Seq uint64
 	// Body is the service-specific response.
 	Body wire.Message
+	// TC is the primary's trace context for handling the request this
+	// response answers, letting clients stitch request → response across a
+	// failover.
+	TC wire.TraceContext
 }
 
 // WireName implements wire.Message.
@@ -130,6 +137,8 @@ func (Response) WireName() string { return "core.Response" }
 type SessionEnded struct {
 	// Session identifies the session.
 	Session ids.SessionID
+	// TC is the primary's trace context, for the observability layer.
+	TC wire.TraceContext
 }
 
 // WireName implements wire.Message.
@@ -145,6 +154,10 @@ type PropagateCtx struct {
 	Unit ids.UnitName
 	// Entries carries one snapshot per session this primary serves.
 	Entries []CtxEntry
+	// SentUnixNano is the primary's wall clock at send time; receivers
+	// derive propagation lag from it (telemetry only — replicated state
+	// never reads it).
+	SentUnixNano int64
 }
 
 // WireName implements wire.Message.
@@ -226,6 +239,9 @@ type Handoff struct {
 	// RespSeq is the old primary's response counter, letting the new
 	// primary continue numbering without a duplicate window.
 	RespSeq uint64
+	// TC is the old primary's trace context for the migration, linking the
+	// handoff into the view-change timeline.
+	TC wire.TraceContext
 }
 
 // WireName implements wire.Message.

@@ -15,6 +15,7 @@ import (
 	"hafw/internal/ids"
 	"hafw/internal/membership"
 	"hafw/internal/metrics"
+	"hafw/internal/obs"
 	"hafw/internal/store"
 	"hafw/internal/trace"
 	"hafw/internal/transport"
@@ -62,6 +63,9 @@ type Config struct {
 	// Tracer, if set, records promote/demote events for the invariant
 	// checkers in package trace.
 	Tracer *trace.Recorder
+	// Obs, if set, records causal spans for the cross-node trace timeline
+	// (nil disables span recording; trace contexts still ride the wire).
+	Obs *obs.Tracer
 
 	// FDInterval, FDTimeout, RoundTimeout, AckInterval tune the GCS stack
 	// (see gcs.Config).
@@ -107,6 +111,13 @@ type liveSession struct {
 	lastSent []byte
 	// sgMembers is the latest session-group view at this member.
 	sgMembers []ids.ProcessID
+	// lastRefresh is when this replica last applied a propagated context
+	// (backups only); the interval between refreshes is the paper's
+	// staleness bound T, observed into backup_staleness_seconds.
+	lastRefresh time.Time
+	// startTC is the trace context of the StartSession request that created
+	// this replica; the SessionStarted reply links back to it.
+	startTC wire.TraceContext
 }
 
 // exchange tracks one in-progress join-time state exchange: first every
@@ -126,6 +137,13 @@ type exchange struct {
 	// hash and the designated-sender rule would ship nothing. All members
 	// hold the same ordered messages and replay them after the merge.
 	heldProps []PropagateCtx
+	// begunAt/offersDoneAt time the exchange's two phases (state_exchange:
+	// view install to last offer; barrier: last offer to last delta).
+	begunAt      time.Time
+	offersDoneAt time.Time
+	// tc is the trace context the exchange's offers and deltas travel
+	// under, linking the exchange across members.
+	tc wire.TraceContext
 }
 
 // unitState is the server's state for one hosted content unit.
@@ -224,6 +242,7 @@ func NewServer(cfg Config) (*Server, error) {
 				Unit:     uc.Unit,
 				Policy:   cfg.Fsync,
 				Interval: cfg.FsyncInterval,
+				Metrics:  reg,
 			})
 			if err != nil {
 				return nil, err
@@ -244,6 +263,7 @@ func NewServer(cfg Config) (*Server, error) {
 		Self:         cfg.Self,
 		Transport:    cfg.Transport,
 		World:        cfg.World,
+		Metrics:      reg,
 		OnEvent:      s.onEvent,
 		OnDirect:     s.onDirect,
 		FDInterval:   cfg.FDInterval,
@@ -456,6 +476,8 @@ func (s *Server) onViewLocked(ev gcs.ViewEvent) {
 	// spans feed the failover-latency numbers in the experiments.
 	sp := s.cfg.Tracer.StartSpan(s.cfg.Self, 0, "core.view-change")
 	defer sp.End()
+	osp := s.cfg.Obs.StartRoot("core.view-change")
+	defer osp.End()
 	g := ev.View.Group
 	switch {
 	case g == ServiceGroup:
@@ -463,7 +485,7 @@ func (s *Server) onViewLocked(ev gcs.ViewEvent) {
 	case strings.HasPrefix(string(g), "content/"):
 		unit := ids.UnitName(strings.TrimPrefix(string(g), "content/"))
 		if u := s.units[unit]; u != nil {
-			s.onContentViewLocked(u, ev)
+			s.onContentViewLocked(u, ev, osp.Context())
 		}
 	default:
 		// Session-group view: track membership and release any pending
@@ -512,6 +534,7 @@ func (s *Server) checkPendingLocked(u *unitState, sid ids.SessionID) {
 		}
 		_ = s.proc.Send(ids.ClientEndpoint(client), SessionStarted{
 			Unit: u.cfg.Unit, Session: sid, Group: SessionGroup(u.cfg.Unit, sid),
+			TC: s.cfg.Obs.ChildContext(live.startTC),
 		})
 	}
 }
@@ -519,7 +542,7 @@ func (s *Server) checkPendingLocked(u *unitState, sid ids.SessionID) {
 // onContentViewLocked implements Section 3.4: crash-only changes
 // reallocate immediately from the (identical, thanks to virtual synchrony)
 // unit databases; changes with joiners first run a state exchange.
-func (s *Server) onContentViewLocked(u *unitState, ev gcs.ViewEvent) {
+func (s *Server) onContentViewLocked(u *unitState, ev gcs.ViewEvent, tc wire.TraceContext) {
 	u.view = ev.View
 	s.reg.Counter("content_views").Inc()
 	if debugExchange {
@@ -545,12 +568,14 @@ func (s *Server) onContentViewLocked(u *unitState, ev gcs.ViewEvent) {
 			offers:    make(map[ids.ProcessID]unitdb.Offer, len(ev.View.Members)),
 			deltas:    make(map[ids.ProcessID]unitdb.Snapshot, len(ev.View.Members)),
 			heldProps: held,
+			begunAt:   time.Now(),
+			tc:        s.cfg.Obs.ChildContext(tc),
 		}
 		offer := StateOffer{
 			Unit: u.cfg.Unit, ViewPV: ev.View.ID.PV, ViewN: ev.View.ID.N, Offer: u.db.Offer(),
 		}
 		s.noteStateBytes("state_bytes_sent", offer)
-		_ = s.proc.Multicast(ContentGroup(u.cfg.Unit), offer)
+		_ = s.proc.MulticastTC(ContentGroup(u.cfg.Unit), offer, u.exch.tc)
 		return
 	}
 	if u.needSync {
@@ -561,7 +586,7 @@ func (s *Server) onContentViewLocked(u *unitState, ev gcs.ViewEvent) {
 	// Failures only: immediate deterministic takeover, no extra messages.
 	s.reg.Counter("immediate_reallocs").Inc()
 	changes := u.db.Reallocate(ev.View.Members, u.cfg.Backups)
-	s.applyChangesLocked(u, changes)
+	s.applyChangesLocked(u, changes, tc)
 }
 
 func (s *Server) onMessageLocked(ev gcs.MessageEvent) {
@@ -616,7 +641,7 @@ func (s *Server) onServiceMsgLocked(ev gcs.MessageEvent) {
 func (s *Server) onContentMsgLocked(u *unitState, ev gcs.MessageEvent) {
 	switch msg := ev.Payload.(type) {
 	case StartSession:
-		s.onStartSessionLocked(u, ev.From, msg)
+		s.onStartSessionLocked(u, ev.From, msg, ev.TC)
 	case PropagateCtx:
 		if u.exch != nil {
 			u.exch.heldProps = append(u.exch.heldProps, msg)
@@ -627,9 +652,9 @@ func (s *Server) onContentMsgLocked(u *unitState, ev gcs.MessageEvent) {
 	case SessionClosed:
 		s.onSessionClosedLocked(u, msg.Session)
 	case StateOffer:
-		s.onStateOfferLocked(u, ev.From, msg)
+		s.onStateOfferLocked(u, ev.From, msg, ev.TC)
 	case StateDelta:
-		s.onStateDeltaLocked(u, ev.From, msg)
+		s.onStateDeltaLocked(u, ev.From, msg, ev.TC)
 	}
 }
 
@@ -637,11 +662,13 @@ func (s *Server) onContentMsgLocked(u *unitState, ev gcs.MessageEvent) {
 // member: all create the same session record and compute the same
 // allocation; the selected servers join the session group; the primary
 // replies to the client.
-func (s *Server) onStartSessionLocked(u *unitState, from ids.EndpointID, msg StartSession) {
+func (s *Server) onStartSessionLocked(u *unitState, from ids.EndpointID, msg StartSession, tc wire.TraceContext) {
 	client, ok := from.Client()
 	if !ok {
 		return
 	}
+	sp := s.cfg.Obs.StartChild("core.start-session", tc)
+	defer sp.End()
 	sess := u.db.CreateSession(client)
 	s.flushPendingHandoffsLocked(u)
 	primary, backups := u.db.Allocate(sess.ID, u.view.Members, u.cfg.Backups)
@@ -653,10 +680,12 @@ func (s *Server) onStartSessionLocked(u *unitState, from ids.EndpointID, msg Sta
 	case primary == s.cfg.Self:
 		live := s.draftLocked(u, sess)
 		live.role = rolePrimary
+		live.startTC = tc
 		u.pendingStart[sess.ID] = client
 	case containsProc(backups, s.cfg.Self):
 		live := s.draftLocked(u, sess)
 		live.role = roleBackup
+		live.startTC = tc
 		u.pendingStart[sess.ID] = client
 	}
 }
@@ -664,12 +693,28 @@ func (s *Server) onStartSessionLocked(u *unitState, from ids.EndpointID, msg Sta
 // onPropagateLocked applies a primary's context propagation to the unit
 // database, and refreshes live backup replicas.
 func (s *Server) onPropagateLocked(u *unitState, msg PropagateCtx) {
+	now := time.Now()
+	if msg.SentUnixNano > 0 {
+		// Lag from the primary's send to this delivery: ordering, transport,
+		// and event-loop queuing. Clock skew can make it negative across
+		// machines; clamp rather than pollute the histogram.
+		if lag := now.Sub(time.Unix(0, msg.SentUnixNano)); lag > 0 {
+			s.reg.Histogram("propagation_lag_seconds").Observe(lag)
+		}
+	}
 	for _, e := range msg.Entries {
 		if !u.db.UpdateContext(e.Session, e.Ctx, e.Stamp) {
 			continue
 		}
 		s.persistLocked(u, store.Record{Op: store.OpCtx, SID: e.Session, Ctx: e.Ctx, Stamp: e.Stamp})
 		if live := u.live[e.Session]; live != nil && live.role == roleBackup {
+			// The gap between successive refreshes is how stale this backup's
+			// context was just before the refresh — the paper's propagation
+			// period T bounds it for sessions under active mutation.
+			if !live.lastRefresh.IsZero() {
+				s.reg.Histogram("backup_staleness_seconds").Observe(now.Sub(live.lastRefresh))
+			}
+			live.lastRefresh = now
 			live.app.Sync(e.Ctx)
 		}
 	}
@@ -691,13 +736,15 @@ func (s *Server) onSessionClosedLocked(u *unitState, sid ids.SessionID) {
 // onStateOfferLocked collects stamp vectors; once every member of the
 // exchange's view has offered, each member computes the records it alone
 // is responsible for shipping and multicasts them as its delta.
-func (s *Server) onStateOfferLocked(u *unitState, from ids.EndpointID, msg StateOffer) {
+func (s *Server) onStateOfferLocked(u *unitState, from ids.EndpointID, msg StateOffer, tc wire.TraceContext) {
 	p, ok := from.Process()
 	if !ok || u.exch == nil || msg.ViewPV != u.exch.viewPV || msg.ViewN != u.exch.viewN {
 		return
 	}
 	if p != s.cfg.Self { // self-delivery is not network transfer
 		s.noteStateBytes("state_bytes_received", msg)
+		sp := s.cfg.Obs.StartChild("core.state-offer", tc)
+		defer sp.End()
 	}
 	u.exch.offers[p] = msg.Offer
 	if u.exch.sentDelta {
@@ -709,6 +756,8 @@ func (s *Server) onStateOfferLocked(u *unitState, from ids.EndpointID, msg State
 		}
 	}
 	u.exch.sentDelta = true
+	u.exch.offersDoneAt = time.Now()
+	s.reg.Histogram(`viewchange_duration_seconds{phase="state_exchange"}`).Observe(time.Since(u.exch.begunAt))
 	delta := StateDelta{
 		Unit: u.cfg.Unit, ViewPV: u.exch.viewPV, ViewN: u.exch.viewN,
 		Snap: u.db.DeltaFor(s.cfg.Self, u.exch.offers),
@@ -723,13 +772,13 @@ func (s *Server) onStateOfferLocked(u *unitState, from ids.EndpointID, msg State
 	}
 	s.noteStateBytes("state_bytes_sent", delta)
 	s.reg.Counter("state_sessions_sent").Add(uint64(len(delta.Snap.Sessions)))
-	_ = s.proc.Multicast(ContentGroup(u.cfg.Unit), delta)
+	_ = s.proc.MulticastTC(ContentGroup(u.cfg.Unit), delta, u.exch.tc)
 }
 
 // onStateDeltaLocked collects deltas; when every member's delta is in
 // (empty ones included — they are the barrier), all members merge
 // identically and reallocate.
-func (s *Server) onStateDeltaLocked(u *unitState, from ids.EndpointID, msg StateDelta) {
+func (s *Server) onStateDeltaLocked(u *unitState, from ids.EndpointID, msg StateDelta, tc wire.TraceContext) {
 	p, ok := from.Process()
 	if !ok || u.exch == nil || msg.ViewPV != u.exch.viewPV || msg.ViewN != u.exch.viewN {
 		return
@@ -737,6 +786,8 @@ func (s *Server) onStateDeltaLocked(u *unitState, from ids.EndpointID, msg State
 	if p != s.cfg.Self { // self-delivery is not network transfer
 		s.noteStateBytes("state_bytes_received", msg)
 		s.reg.Counter("state_sessions_received").Add(uint64(len(msg.Snap.Sessions)))
+		sp := s.cfg.Obs.StartChild("core.state-delta", tc)
+		defer sp.End()
 	}
 	u.exch.deltas[p] = msg.Snap
 	for _, m := range u.exch.members {
@@ -753,6 +804,13 @@ func (s *Server) onStateDeltaLocked(u *unitState, from ids.EndpointID, msg State
 		}
 		u.db.Merge(u.exch.deltas[m])
 	}
+	// The barrier phase ran from the last offer (when deltas could first
+	// flow) to this merge; the whole exchange becomes one span.
+	if !u.exch.offersDoneAt.IsZero() {
+		s.reg.Histogram(`viewchange_duration_seconds{phase="barrier"}`).Observe(time.Since(u.exch.offersDoneAt))
+	}
+	s.cfg.Obs.RecordSpan("core.state-exchange", u.exch.tc, u.exch.begunAt)
+	exchTC := u.exch.tc
 	held := u.exch.heldProps
 	u.exch = nil
 	// Replay propagations deferred during the exchange. Every member holds
@@ -792,7 +850,7 @@ func (s *Server) onStateDeltaLocked(u *unitState, from ids.EndpointID, msg State
 	// Joins rebalance the load fairly (Section 3.4), at the cost of
 	// migrating some sessions away from live primaries.
 	changes := u.db.ReallocateBalanced(members, u.cfg.Backups)
-	s.applyChangesLocked(u, changes)
+	s.applyChangesLocked(u, changes, exchTC)
 	if debugExchange {
 		var desc strings.Builder
 		for _, sess := range u.db.Sessions() {
@@ -813,7 +871,14 @@ func (s *Server) onSessionMsgLocked(u *unitState, sid ids.SessionID, ev gcs.Mess
 		if msg.Session != sid {
 			return
 		}
+		sp := s.cfg.Obs.StartChild("core.request", ev.TC)
+		defer sp.End()
 		live.lastActivity = time.Now()
+		if live.role == rolePrimary && live.resp != nil {
+			// Responses emitted while (or after) applying this update are
+			// caused by it; the responder stamps them with this span.
+			live.resp.setTC(sp.Context())
+		}
 		live.app.ApplyUpdate(msg.Body)
 		s.reg.Counter("updates_applied").Inc()
 		if live.role == rolePrimary {
@@ -825,10 +890,12 @@ func (s *Server) onSessionMsgLocked(u *unitState, sid ids.SessionID, ev gcs.Mess
 		if live.role != rolePrimary {
 			return
 		}
+		sp := s.cfg.Obs.StartChild("core.end-session", ev.TC)
+		defer sp.End()
 		if c, ok := ev.From.Client(); ok {
-			_ = s.proc.Send(ids.ClientEndpoint(c), SessionEnded{Session: sid})
+			_ = s.proc.Send(ids.ClientEndpoint(c), SessionEnded{Session: sid, TC: sp.Context()})
 		}
-		_ = s.proc.Multicast(ContentGroup(u.cfg.Unit), SessionClosed{Unit: u.cfg.Unit, Session: sid})
+		_ = s.proc.MulticastTC(ContentGroup(u.cfg.Unit), SessionClosed{Unit: u.cfg.Unit, Session: sid}, sp.Context())
 	}
 }
 
@@ -845,6 +912,8 @@ func (s *Server) onDirect(from ids.EndpointID, m wire.Message) {
 	if u == nil {
 		return
 	}
+	sp := s.cfg.Obs.StartChild("core.handoff", ho.TC)
+	defer sp.End()
 	if u.exch != nil || u.db.Get(ho.Session) == nil {
 		// Either the direct handoff outran the ordered state exchange that
 		// will introduce this session here, or an exchange is in flight.
@@ -904,7 +973,7 @@ func (s *Server) flushPendingHandoffsLocked(u *unitState) {
 // applyChangesLocked enacts a deterministic reallocation at this server:
 // drafting replicas, promoting/demoting primaries, and adjusting session
 // group membership (joins before leaves, per Section 3.4).
-func (s *Server) applyChangesLocked(u *unitState, changes []unitdb.Change) {
+func (s *Server) applyChangesLocked(u *unitState, changes []unitdb.Change, tc wire.TraceContext) {
 	for _, c := range changes {
 		sess := u.db.Get(c.SessionID)
 		if sess == nil {
@@ -934,7 +1003,7 @@ func (s *Server) applyChangesLocked(u *unitState, changes []unitdb.Change) {
 				live = s.draftLocked(u, sess)
 				live.role = roleBackup
 			} else if live.role == rolePrimary {
-				s.demoteLocked(u, live, sess.Primary)
+				s.demoteLocked(u, live, sess.Primary, tc)
 				live.role = roleBackup
 			} else {
 				live.role = roleBackup
@@ -942,7 +1011,7 @@ func (s *Server) applyChangesLocked(u *unitState, changes []unitdb.Change) {
 		default: // not in the session group anymore
 			if live != nil {
 				if live.role == rolePrimary {
-					s.demoteLocked(u, live, sess.Primary)
+					s.demoteLocked(u, live, sess.Primary, tc)
 				}
 				s.dropLiveLocked(u, live)
 			}
@@ -992,8 +1061,10 @@ func (s *Server) promoteLocked(u *unitState, live *liveSession, stamp uint64) {
 }
 
 // demoteLocked revokes primaryship and hands the freshest context to the
-// new primary if it is a live migration (both servers up).
-func (s *Server) demoteLocked(u *unitState, live *liveSession, newPrimary ids.ProcessID) {
+// new primary if it is a live migration (both servers up). The handoff
+// carries tc (the view change or exchange causing the migration) so the
+// receiver's takeover links into the same trace.
+func (s *Server) demoteLocked(u *unitState, live *liveSession, newPrimary ids.ProcessID, tc wire.TraceContext) {
 	if live.resp != nil {
 		live.resp.deactivate()
 	}
@@ -1011,6 +1082,7 @@ func (s *Server) demoteLocked(u *unitState, live *liveSession, newPrimary ids.Pr
 		_ = s.proc.Send(ids.ProcessEndpoint(newPrimary), Handoff{
 			Unit: u.cfg.Unit, Session: live.sid,
 			Ctx: live.app.Snapshot(), Stamp: live.lastStamp, RespSeq: respSeq,
+			TC: s.cfg.Obs.ChildContext(tc),
 		})
 		s.reg.Counter("handoffs_sent").Inc()
 	}
@@ -1076,7 +1148,12 @@ func (s *Server) propagationLoop() {
 			}
 			s.mu.Unlock()
 			for _, o := range outs {
-				_ = s.proc.Multicast(o.g, o.m)
+				// Each propagation roots its own trace; receivers' applies
+				// become its children via the wire context.
+				tc := s.cfg.Obs.RootContext()
+				t0 := time.Now()
+				_ = s.proc.MulticastTC(o.g, o.m, tc)
+				s.cfg.Obs.RecordSpan("core.propagate", tc, t0)
 			}
 		}
 	}
@@ -1124,7 +1201,7 @@ func (s *Server) buildPropagationLocked(u *unitState, now time.Time) wire.Messag
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Session < entries[j].Session })
 	s.reg.Counter("propagations_sent").Inc()
 	s.reg.Counter("propagation_entries_sent").Add(uint64(len(entries)))
-	return PropagateCtx{Unit: u.cfg.Unit, Entries: entries}
+	return PropagateCtx{Unit: u.cfg.Unit, Entries: entries, SentUnixNano: now.UnixNano()}
 }
 
 // --- responder ---
@@ -1139,6 +1216,9 @@ type responder struct {
 	mu     sync.Mutex
 	active bool
 	seq    uint64
+	// tc is the span of the client request most recently applied under this
+	// responder; outgoing responses carry it as their causal parent.
+	tc wire.TraceContext
 }
 
 func newResponder(s *Server, unit ids.UnitName, sid ids.SessionID, client ids.ClientID, seq uint64) *responder {
@@ -1156,10 +1236,18 @@ func (r *responder) Send(body wire.Message) bool {
 	}
 	r.seq++
 	seq := r.seq
+	tc := r.tc
 	r.mu.Unlock()
-	_ = r.srv.proc.Send(ids.ClientEndpoint(r.client), Response{Session: r.sid, Seq: seq, Body: body})
+	_ = r.srv.proc.Send(ids.ClientEndpoint(r.client), Response{Session: r.sid, Seq: seq, Body: body, TC: tc})
 	r.srv.reg.Counter("responses_sent").Inc()
 	return true
+}
+
+// setTC records the span causing subsequent responses.
+func (r *responder) setTC(tc wire.TraceContext) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tc = tc
 }
 
 // Client implements Responder.
@@ -1186,6 +1274,105 @@ func (r *responder) bumpSeq(seq uint64) {
 	if seq > r.seq {
 		r.seq = seq
 	}
+}
+
+// Health reports nil while the server is running (the /healthz body).
+func (s *Server) Health() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return errors.New("core: server stopped")
+	}
+	return nil
+}
+
+// Status captures this node's view of the cluster for /statusz: group
+// views at every scale, hosted units, live sessions with roles, and
+// durable-store state. Read-only; safe to call from the ops server.
+func (s *Server) Status() obs.NodeStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	st := obs.NodeStatus{Node: uint64(s.cfg.Self)}
+
+	addGroup := func(v vsync.GroupView) {
+		if v.Group == "" {
+			return
+		}
+		ms := make([]uint64, 0, len(v.Members))
+		for _, m := range v.Members {
+			ms = append(ms, uint64(m))
+		}
+		st.Groups = append(st.Groups, obs.GroupStatus{
+			Group:   string(v.Group),
+			View:    v.ID.String(),
+			Members: ms,
+		})
+	}
+	addGroup(s.svcView)
+
+	names := make([]ids.UnitName, 0, len(s.units))
+	for name := range s.units {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	for _, name := range names {
+		u := s.units[name]
+		addGroup(u.view)
+		view := ""
+		if !u.view.ID.IsZero() {
+			view = u.view.ID.String()
+		}
+		st.Units = append(st.Units, obs.UnitStatus{
+			Unit:         string(name),
+			Service:      fmt.Sprintf("%T", u.cfg.Service),
+			View:         view,
+			Synced:       !u.needSync,
+			ExchangeOpen: u.exch != nil,
+			DBSessions:   u.db.Len(),
+			Live:         len(u.live),
+		})
+		sids := make([]ids.SessionID, 0, len(u.live))
+		for sid := range u.live {
+			sids = append(sids, sid)
+		}
+		sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+		for _, sid := range sids {
+			live := u.live[sid]
+			role := "backup"
+			if live.role == rolePrimary {
+				role = "primary"
+			}
+			ms := make([]uint64, 0, len(live.sgMembers))
+			for _, m := range live.sgMembers {
+				ms = append(ms, uint64(m))
+			}
+			st.Groups = append(st.Groups, obs.GroupStatus{
+				Group:   string(SessionGroup(name, sid)),
+				Members: ms,
+			})
+			st.Sessions = append(st.Sessions, obs.SessionStatus{
+				Session: fmt.Sprintf("%d", sid),
+				Unit:    string(name),
+				Role:    role,
+				Client:  fmt.Sprintf("%d", live.client),
+				Stamp:   live.lastStamp,
+				IdleMS:  now.Sub(live.lastActivity).Milliseconds(),
+			})
+		}
+		if u.st != nil {
+			ss := u.st.Stats()
+			st.Stores = append(st.Stores, obs.StoreStatus{
+				Unit:                   string(name),
+				Dir:                    ss.Dir,
+				Policy:                 ss.Policy,
+				Segment:                ss.Segment,
+				SegmentBytes:           ss.SegmentBytes,
+				AppendsSinceCheckpoint: ss.AppendsSinceCheckpoint,
+			})
+		}
+	}
+	return st
 }
 
 // noteStateBytes accounts a state-exchange message's encoded size against

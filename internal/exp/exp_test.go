@@ -30,8 +30,8 @@ func TestByID(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	rs := Experiments()
-	if len(rs) != 15 {
-		t.Fatalf("registry has %d experiments, want 15", len(rs))
+	if len(rs) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {
@@ -324,6 +324,32 @@ func TestE14Live(t *testing.T) {
 		// change on a loaded CI machine can cost (quick cells run 1.5s).
 		if errs := mustParseFloat(row[6]); errs > thr*1.5/100 {
 			t.Errorf("capacity cell reported errors: %v\n%s", row, tb)
+		}
+	}
+}
+
+func TestE16Live(t *testing.T) {
+	tb, err := E16Observability(true)
+	if err != nil {
+		t.Fatalf("E16: %v\n%s", err, tb)
+	}
+	if len(tb.Rows) != 4 { // off, on, staleness T=100ms, T=500ms
+		t.Fatalf("rows = %d\n%s", len(tb.Rows), tb)
+	}
+	// Both capacity cells measured real throughput: the instrumented run
+	// must be in the same regime as the bare one, not collapsed. CI noise
+	// makes a strict 5% assertion flaky; 25% catches a broken hot path.
+	offThr, onThr := mustParseFloat(tb.Rows[0][2]), mustParseFloat(tb.Rows[1][2])
+	if offThr <= 0 || onThr <= 0 {
+		t.Fatalf("no throughput measured\n%s", tb)
+	}
+	if onThr < offThr*0.75 {
+		t.Errorf("obs-on throughput %v is <75%% of obs-off %v\n%s", onThr, offThr, tb)
+	}
+	// The staleness histograms observed samples and tracked T.
+	for _, row := range tb.Rows[2:] {
+		if row[8] != "true" {
+			t.Errorf("staleness p50 outside 2T bound: %v\n%s", row, tb)
 		}
 	}
 }

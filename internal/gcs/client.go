@@ -169,6 +169,13 @@ func (c *Client) Invalidate(g ids.GroupName) {
 // client can resolve (the coordinator deduplicates by message ID). The
 // client never needs to know which member is the primary.
 func (c *Client) SendToGroup(g ids.GroupName, m wire.Message) error {
+	return c.SendToGroupTC(g, m, wire.TraceContext{})
+}
+
+// SendToGroupTC is SendToGroup carrying the client's trace context; every
+// fan-out copy shares the same message ID and context, so the trace sees
+// one causal edge regardless of which copy wins deduplication.
+func (c *Client) SendToGroupTC(g ids.GroupName, m wire.Message, tc wire.TraceContext) error {
 	members, err := c.Resolve(g)
 	if err != nil {
 		return err
@@ -181,7 +188,7 @@ func (c *Client) SendToGroup(g ids.GroupName, m wire.Message) error {
 	id := ids.MsgID{Sender: c.Endpoint(), Seq: c.nextSeq}
 	c.mu.Unlock()
 
-	cs := vsync.ClientSend{Group: g, ID: id, Payload: m}
+	cs := vsync.ClientSend{Group: g, ID: id, Payload: m, TC: tc}
 	for _, s := range members {
 		_ = c.tr.Send(ids.ProcessEndpoint(s), cs)
 	}

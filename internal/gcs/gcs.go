@@ -25,6 +25,7 @@ import (
 	"hafw/internal/fd"
 	"hafw/internal/ids"
 	"hafw/internal/membership"
+	"hafw/internal/metrics"
 	"hafw/internal/transport"
 	"hafw/internal/vsync"
 	"hafw/internal/wire"
@@ -67,6 +68,10 @@ type Config struct {
 	RoundTimeout time.Duration
 	// AckInterval tunes vsync housekeeping (zero → 25ms).
 	AckInterval time.Duration
+	// Metrics receives GCS-stack telemetry (view-change phase latency and
+	// the like); shared downward into vsync. Nil leaves each layer on a
+	// private registry.
+	Metrics *metrics.Registry
 }
 
 // Process is one GCS endpoint: a server process that can join groups,
@@ -94,6 +99,7 @@ func NewProcess(cfg Config) (*Process, error) {
 		Send:        p.tr,
 		OnEvent:     cfg.OnEvent,
 		AckInterval: cfg.AckInterval,
+		Metrics:     cfg.Metrics,
 	})
 	p.mem = membership.New(membership.Config{
 		Self:         cfg.Self,
@@ -172,6 +178,12 @@ func (p *Process) Leave(g ids.GroupName) error { return p.node.Leave(g) }
 // Multicast sends m to group g with total order and virtual synchrony.
 func (p *Process) Multicast(g ids.GroupName, m wire.Message) error {
 	return p.node.Multicast(g, m)
+}
+
+// MulticastTC is Multicast carrying the sender's trace context for the
+// observability layer; the context rides to every delivery of m.
+func (p *Process) MulticastTC(g ids.GroupName, m wire.Message, tc wire.TraceContext) error {
+	return p.node.MulticastTC(g, m, tc)
 }
 
 // GroupMembers returns g's current membership as known here.

@@ -8,6 +8,7 @@ import (
 	"hafw/internal/core"
 	"hafw/internal/ids"
 	"hafw/internal/metrics"
+	"hafw/internal/obs"
 	"hafw/internal/testutil"
 	"hafw/internal/transport/memnet"
 	"hafw/internal/transport/tcpnet"
@@ -55,6 +56,11 @@ type MemnetConfig struct {
 	// Units is how many content units the cluster serves (each replicated
 	// on every server, so R = Servers). Zero means 4.
 	Units int
+	// Obs enables the full observability path on every server: a span
+	// tracer, per-message-type transport counters, and an ops HTTP server
+	// on a loopback port (see OpsAddrs). Off by default so capacity runs
+	// measure the bare protocol; E16 uses on/off pairs to price it.
+	Obs bool
 	// Net tunes the in-memory network (latency, jitter, loss).
 	Net memnet.Config
 }
@@ -70,6 +76,11 @@ type MemnetTarget struct {
 	servers map[ids.ProcessID]*core.Server
 	pids    []ids.ProcessID
 	nextCID ids.ClientID
+
+	regs     map[ids.ProcessID]*metrics.Registry
+	tracers  map[ids.ProcessID]*obs.Tracer
+	opsAddrs map[ids.ProcessID]string
+	opsClose []func() error
 }
 
 // NewMemnetTarget brings up the cluster and waits for group formation.
@@ -84,10 +95,13 @@ func NewMemnetTarget(cfg MemnetConfig) (*MemnetTarget, error) {
 		cfg.Units = 4
 	}
 	t := &MemnetTarget{
-		cfg:     cfg,
-		net:     memnet.New(cfg.Net),
-		servers: make(map[ids.ProcessID]*core.Server),
-		nextCID: 5000,
+		cfg:      cfg,
+		net:      memnet.New(cfg.Net),
+		servers:  make(map[ids.ProcessID]*core.Server),
+		nextCID:  5000,
+		regs:     make(map[ids.ProcessID]*metrics.Registry),
+		tracers:  make(map[ids.ProcessID]*obs.Tracer),
+		opsAddrs: make(map[ids.ProcessID]string),
 	}
 	for i := 0; i < cfg.Units; i++ {
 		t.units = append(t.units, ids.UnitName(fmt.Sprintf("load-%d", i)))
@@ -112,12 +126,21 @@ func NewMemnetTarget(cfg MemnetConfig) (*MemnetTarget, error) {
 				IdleTimeout:       30 * time.Second,
 			})
 		}
+		reg := metrics.NewRegistry()
+		t.regs[pid] = reg
+		var tracer *obs.Tracer
+		if cfg.Obs {
+			tracer = obs.NewTracer(pid, obs.DefaultSpanCapacity)
+			t.tracers[pid] = tracer
+			ep.SetMetrics(reg)
+		}
 		srv, err := core.NewServer(core.Config{
 			Self:         pid,
 			Transport:    ep,
 			World:        t.pids,
 			Units:        units,
-			Metrics:      metrics.NewRegistry(),
+			Metrics:      reg,
+			Obs:          tracer,
 			FDInterval:   10 * time.Millisecond * scale,
 			FDTimeout:    60 * time.Millisecond * scale,
 			RoundTimeout: 100 * time.Millisecond * scale,
@@ -132,6 +155,20 @@ func NewMemnetTarget(cfg MemnetConfig) (*MemnetTarget, error) {
 			return nil, err
 		}
 		t.servers[pid] = srv
+		if cfg.Obs {
+			addr, closeFn, err := obs.Serve("127.0.0.1:0", obs.ServerConfig{
+				Registry: reg,
+				Tracer:   tracer,
+				Status:   srv.Status,
+				Health:   srv.Health,
+			})
+			if err != nil {
+				t.Close()
+				return nil, err
+			}
+			t.opsAddrs[pid] = addr
+			t.opsClose = append(t.opsClose, closeFn)
+		}
 	}
 	if err := t.waitFormed(30 * time.Second); err != nil {
 		t.Close()
@@ -208,6 +245,26 @@ func (t *MemnetTarget) Crash(pid ids.ProcessID) {
 // Servers lists the cluster's process IDs.
 func (t *MemnetTarget) Servers() []ids.ProcessID { return append([]ids.ProcessID(nil), t.pids...) }
 
+// Registries exposes each server's metric registry (staleness and latency
+// telemetry for the observability experiments).
+func (t *MemnetTarget) Registries() map[ids.ProcessID]*metrics.Registry {
+	out := make(map[ids.ProcessID]*metrics.Registry, len(t.regs))
+	for pid, reg := range t.regs {
+		out[pid] = reg
+	}
+	return out
+}
+
+// OpsAddrs lists each server's ops HTTP address (only populated when the
+// target was built with Obs enabled).
+func (t *MemnetTarget) OpsAddrs() map[ids.ProcessID]string {
+	out := make(map[ids.ProcessID]string, len(t.opsAddrs))
+	for pid, addr := range t.opsAddrs {
+		out[pid] = addr
+	}
+	return out
+}
+
 // SessionSkew counts live sessions per primary across all units, as seen
 // by the first live server's unit databases: the placement-side complement
 // of the recorder's response-side skew.
@@ -229,6 +286,9 @@ func (t *MemnetTarget) SessionSkew() map[ids.ProcessID]int {
 
 // Close implements Target.
 func (t *MemnetTarget) Close() {
+	for _, fn := range t.opsClose {
+		_ = fn()
+	}
 	for _, s := range t.servers {
 		s.Stop()
 	}

@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the log-linear layout at its edges: a value
+// exactly on a sub-bucket or octave boundary belongs to the bucket it
+// opens, not the one it closes (half-open [Lo, Hi) intervals).
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d       time.Duration
+		wantIdx int
+		wantLo  time.Duration
+		wantHi  time.Duration
+	}{
+		{0, 0, 0, 25 * time.Microsecond},
+		{24 * time.Microsecond, 0, 0, 25 * time.Microsecond},
+		{25 * time.Microsecond, 1, 25 * time.Microsecond, 50 * time.Microsecond},
+		{99 * time.Microsecond, 3, 75 * time.Microsecond, 100 * time.Microsecond},
+		// histBase itself opens the first octave's first sub-bucket.
+		{100 * time.Microsecond, 4, 100 * time.Microsecond, 125 * time.Microsecond},
+		{125 * time.Microsecond, 5, 125 * time.Microsecond, 150 * time.Microsecond},
+		// The next octave boundary.
+		{200 * time.Microsecond, 8, 200 * time.Microsecond, 250 * time.Microsecond},
+		{399 * time.Microsecond, 11, 350 * time.Microsecond, 400 * time.Microsecond},
+		{400 * time.Microsecond, 12, 400 * time.Microsecond, 500 * time.Microsecond},
+		// Negative durations clamp to bucket 0.
+		{-time.Second, 0, 0, 25 * time.Microsecond},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.wantIdx {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.wantIdx)
+		}
+		lo, hi := bucketBounds(c.wantIdx)
+		if lo != c.wantLo || hi != c.wantHi {
+			t.Errorf("bucketBounds(%d) = [%v, %v), want [%v, %v)", c.wantIdx, lo, hi, c.wantLo, c.wantHi)
+		}
+	}
+	// Beyond the last octave everything lands in the final bucket.
+	if got := bucketFor(1000 * time.Hour); got != histBuckets-1 {
+		t.Errorf("bucketFor(huge) = %d, want %d", got, histBuckets-1)
+	}
+}
+
+// TestQuantileBounds pins the quantile contract: an upper bound from the
+// bucket's Hi edge, clamped so it never exceeds the true maximum.
+func TestQuantileBounds(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	h.Observe(150 * time.Microsecond)
+	// One sample at 150µs lives in [150µs, 175µs); the bucket's upper edge
+	// exceeds the max, so the quantile clamps to the max.
+	if got := h.Quantile(0.5); got != 150*time.Microsecond {
+		t.Fatalf("Quantile(0.5) single sample = %v, want 150µs (clamped to max)", got)
+	}
+	h.Observe(151 * time.Microsecond) // same bucket, max now 151µs
+	if got := h.Quantile(1.0); got != 151*time.Microsecond {
+		t.Fatalf("Quantile(1.0) = %v, want max 151µs", got)
+	}
+	h.Observe(10 * time.Millisecond)
+	// p50 of {150µs, 151µs, 10ms} falls in the 150µs bucket; the bound is
+	// the bucket's Hi edge, which no longer exceeds the max.
+	if got := h.Quantile(0.5); got != 175*time.Microsecond {
+		t.Fatalf("Quantile(0.5) = %v, want bucket edge 175µs", got)
+	}
+}
+
+// TestMergeEquivalence checks Merge's contract: merging h2 into h1 is
+// indistinguishable from observing both sample sets against one histogram.
+func TestMergeEquivalence(t *testing.T) {
+	setA := []time.Duration{10 * time.Microsecond, 300 * time.Microsecond, 2 * time.Millisecond, 2 * time.Millisecond}
+	setB := []time.Duration{5 * time.Microsecond, 450 * time.Microsecond, 80 * time.Millisecond}
+
+	var h1, h2, combined Histogram
+	for _, d := range setA {
+		h1.Observe(d)
+		combined.Observe(d)
+	}
+	for _, d := range setB {
+		h2.Observe(d)
+		combined.Observe(d)
+	}
+	h1.Merge(&h2)
+
+	if h1.Count() != combined.Count() {
+		t.Fatalf("Count = %d, want %d", h1.Count(), combined.Count())
+	}
+	if h1.Mean() != combined.Mean() {
+		t.Errorf("Mean = %v, want %v", h1.Mean(), combined.Mean())
+	}
+	if h1.Min() != combined.Min() || h1.Max() != combined.Max() {
+		t.Errorf("Min/Max = %v/%v, want %v/%v", h1.Min(), h1.Max(), combined.Min(), combined.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 1.0} {
+		if h1.Quantile(q) != combined.Quantile(q) {
+			t.Errorf("Quantile(%v) = %v, want %v", q, h1.Quantile(q), combined.Quantile(q))
+		}
+	}
+	if !reflect.DeepEqual(h1.Buckets(), combined.Buckets()) {
+		t.Errorf("Buckets diverge after merge:\n got %v\nwant %v", h1.Buckets(), combined.Buckets())
+	}
+	// The donor is unchanged.
+	if h2.Count() != uint64(len(setB)) {
+		t.Errorf("donor Count = %d, want %d", h2.Count(), len(setB))
+	}
+}
+
+// TestMergeDegenerate pins the no-op cases: nil donor, empty donor, and
+// self-merge (which must not deadlock on the shared mutex).
+func TestMergeDegenerate(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Merge(nil)
+	var empty Histogram
+	h.Merge(&empty)
+	h.Merge(&h)
+	if h.Count() != 1 {
+		t.Fatalf("Count after degenerate merges = %d, want 1", h.Count())
+	}
+	if h.Mean() != time.Millisecond {
+		t.Fatalf("Mean after degenerate merges = %v, want 1ms", h.Mean())
+	}
+}
+
+// TestExportRoundTrip checks FromExport: bucket counts and quantile bounds
+// are exact, and mean/extrema are restored from the export's exact values
+// rather than re-approximated from bucket midpoints.
+func TestExportRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{30 * time.Microsecond, 170 * time.Microsecond, 170 * time.Microsecond, 6 * time.Millisecond} {
+		h.Observe(d)
+	}
+	got := FromExport(h.Export())
+	if got.Count() != h.Count() {
+		t.Fatalf("Count = %d, want %d", got.Count(), h.Count())
+	}
+	if got.Mean() != h.Mean() || got.Min() != h.Min() || got.Max() != h.Max() {
+		t.Errorf("Mean/Min/Max = %v/%v/%v, want %v/%v/%v",
+			got.Mean(), got.Min(), got.Max(), h.Mean(), h.Min(), h.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if got.Quantile(q) != h.Quantile(q) {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got.Quantile(q), h.Quantile(q))
+		}
+	}
+	if !reflect.DeepEqual(got.Buckets(), h.Buckets()) {
+		t.Errorf("Buckets diverge after round-trip:\n got %v\nwant %v", got.Buckets(), h.Buckets())
+	}
+
+	// Cross-node aggregation path: exports from two histograms merged into
+	// a fresh one count every sample once.
+	var other Histogram
+	other.Observe(90 * time.Millisecond)
+	agg := FromExport(h.Export())
+	agg.Merge(FromExport(other.Export()))
+	if agg.Count() != h.Count()+other.Count() {
+		t.Fatalf("aggregated Count = %d, want %d", agg.Count(), h.Count()+other.Count())
+	}
+	if agg.Max() != 90*time.Millisecond {
+		t.Fatalf("aggregated Max = %v, want 90ms", agg.Max())
+	}
+}

@@ -171,6 +171,79 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.max
 }
 
+// Merge folds other's observations into h, as if every observation made
+// against other had also been made against h. Counts, sums, and extrema
+// combine exactly because both histograms share the fixed log-linear
+// layout. Merging a histogram into itself or merging nil is a no-op.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other == h {
+		return
+	}
+	other.mu.Lock()
+	buckets := other.buckets
+	count := other.count
+	sum := other.sum
+	min, max := other.min, other.max
+	other.mu.Unlock()
+	if count == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, n := range buckets {
+		h.buckets[i] += n
+	}
+	if h.count == 0 || min < h.min {
+		h.min = min
+	}
+	if max > h.max {
+		h.max = max
+	}
+	h.count += count
+	h.sum += sum
+}
+
+// MergeBuckets folds previously exported buckets (for example scraped from
+// another node's exposition) into h. Each bucket's count lands in the cell
+// whose bounds contain the bucket's Lo, so buckets produced by Buckets()
+// on any histogram with the same layout merge exactly. The sum is
+// approximated by the bucket midpoint and the extrema by the bucket
+// bounds; Count and quantiles remain exact.
+func (h *Histogram) MergeBuckets(bs []Bucket) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, b := range bs {
+		if b.Count == 0 {
+			continue
+		}
+		h.buckets[bucketFor(b.Lo)] += b.Count
+		if h.count == 0 || b.Lo < h.min {
+			h.min = b.Lo
+		}
+		if b.Hi > h.max {
+			h.max = b.Hi
+		}
+		h.count += b.Count
+		h.sum += (b.Lo + (b.Hi-b.Lo)/2) * time.Duration(b.Count)
+	}
+}
+
+// FromExport reconstructs a histogram from an export. Bucket counts (and
+// so quantile bounds) are exact; mean and extrema are restored from the
+// export's exact values.
+func FromExport(e HistogramExport) *Histogram {
+	h := &Histogram{}
+	h.MergeBuckets(e.Buckets)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count > 0 {
+		h.sum = time.Duration(e.MeanNS) * time.Duration(h.count)
+		h.min = time.Duration(e.MinNS)
+		h.max = time.Duration(e.MaxNS)
+	}
+	return h
+}
+
 // Bucket is one non-empty histogram cell: the half-open interval [Lo, Hi)
 // and its observation count.
 type Bucket struct {
@@ -281,6 +354,40 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// CounterVec is a cached family of counters distinguished by one label
+// value. Hot paths (per-message transport accounting) use it to skip the
+// name formatting and registry lock that a plain Counter lookup pays on
+// every event.
+type CounterVec struct {
+	reg    *Registry
+	format string
+
+	mu    sync.RWMutex
+	cache map[string]*Counter
+}
+
+// CounterVec returns a counter family whose member names are produced by
+// formatting one label value into format, which must contain exactly one
+// %q verb — for example `transport_send_total{type=%q}`.
+func (r *Registry) CounterVec(format string) *CounterVec {
+	return &CounterVec{reg: r, format: format, cache: make(map[string]*Counter)}
+}
+
+// With returns the family's counter for the given label value.
+func (v *CounterVec) With(label string) *Counter {
+	v.mu.RLock()
+	c, ok := v.cache[label]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	c = v.reg.Counter(fmt.Sprintf(v.format, label))
+	v.mu.Lock()
+	v.cache[label] = c
+	v.mu.Unlock()
+	return c
+}
+
 // Snapshot is a point-in-time copy of counter values.
 type Snapshot map[string]uint64
 
@@ -291,6 +398,30 @@ func (r *Registry) Counters() Snapshot {
 	out := make(Snapshot, len(r.counters))
 	for name, c := range r.counters {
 		out[name] = c.Value()
+	}
+	return out
+}
+
+// Gauges returns a point-in-time copy of all gauge values.
+func (r *Registry) Gauges() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// Histograms returns the registered histograms by name. The histograms are
+// live (observations continue to land in them); callers that need a stable
+// view should Export each one.
+func (r *Registry) Histograms() map[string]*Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		out[name] = h
 	}
 	return out
 }

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"hafw/internal/ids"
+)
+
+// TraceDump is the JSON body served by /debug/trace: one node's retained
+// spans plus ring accounting. hastat fetches one per node and merges them.
+type TraceDump struct {
+	// Node is the dumping process.
+	Node ids.ProcessID `json:"node"`
+	// Dropped counts spans evicted from the ring before this dump.
+	Dropped uint64 `json:"dropped"`
+	// Spans are the retained completed spans in completion order.
+	Spans []SpanRecord `json:"spans"`
+}
+
+// ChromeEvent is one entry of the Chrome trace-event JSON array format
+// (load in chrome://tracing or Perfetto). Durations and timestamps are
+// microseconds.
+type ChromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  uint64            `json:"pid"`
+	TID  uint64            `json:"tid"`
+	ID   string            `json:"id,omitempty"`
+	BP   string            `json:"bp,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// MergeChrome combines per-node trace dumps into one Chrome trace-event
+// list: an "X" (complete) event per span with pid = node, plus flow
+// ("s"/"f") event pairs binding each child span to its parent when both
+// ends are present — that is what renders a failover as one causally
+// linked cross-node timeline.
+func MergeChrome(dumps []TraceDump) []ChromeEvent {
+	type spanAt struct {
+		rec  SpanRecord
+		node ids.ProcessID
+	}
+	var all []spanAt
+	for _, d := range dumps {
+		for _, s := range d.Spans {
+			all = append(all, spanAt{rec: s, node: d.Node})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].rec.Start.Before(all[j].rec.Start) })
+
+	byID := make(map[uint64]spanAt, len(all))
+	for _, s := range all {
+		byID[s.rec.TC.SpanID] = s
+	}
+
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	var out []ChromeEvent
+	for _, s := range all {
+		out = append(out, ChromeEvent{
+			Name: s.rec.Name,
+			Ph:   "X",
+			TS:   us(s.rec.Start.UnixNano()),
+			Dur:  us(s.rec.Dur.Nanoseconds()),
+			PID:  uint64(s.node),
+			TID:  s.rec.TC.TraceID % 1000,
+			Args: map[string]string{
+				"trace":  fmt.Sprintf("%016x", s.rec.TC.TraceID),
+				"span":   fmt.Sprintf("%016x", s.rec.TC.SpanID),
+				"parent": fmt.Sprintf("%016x", s.rec.TC.ParentID),
+			},
+		})
+		parent, ok := byID[s.rec.TC.ParentID]
+		if s.rec.TC.ParentID == 0 || !ok {
+			continue
+		}
+		flowID := fmt.Sprintf("%x", s.rec.TC.SpanID)
+		// Flow start anchors inside the parent span, flow finish at the
+		// child's start ("bp":"e" binds to the enclosing slice).
+		out = append(out, ChromeEvent{
+			Name: "cause", Ph: "s", ID: flowID,
+			TS:  us(parent.rec.Start.UnixNano()),
+			PID: uint64(parent.node), TID: parent.rec.TC.TraceID % 1000,
+		}, ChromeEvent{
+			Name: "cause", Ph: "f", BP: "e", ID: flowID,
+			TS:  us(s.rec.Start.UnixNano()),
+			PID: uint64(s.node), TID: s.rec.TC.TraceID % 1000,
+		})
+	}
+	return out
+}
+
+// CrossNodeLinks counts parent→child span links whose two ends completed
+// on different nodes — the acceptance check that a merged trace really is
+// causal across the cluster rather than per-node timelines side by side.
+func CrossNodeLinks(dumps []TraceDump) int {
+	owner := make(map[uint64]ids.ProcessID)
+	for _, d := range dumps {
+		for _, s := range d.Spans {
+			owner[s.TC.SpanID] = d.Node
+		}
+	}
+	n := 0
+	for _, d := range dumps {
+		for _, s := range d.Spans {
+			if p, ok := owner[s.TC.ParentID]; ok && s.TC.ParentID != 0 && p != d.Node {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// EncodeChrome renders events as the Chrome trace-event JSON array.
+func EncodeChrome(events []ChromeEvent) ([]byte, error) {
+	return json.MarshalIndent(events, "", " ")
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"hafw/internal/metrics"
+)
+
+// Namespace prefixes every exposed metric family.
+const Namespace = "hafw"
+
+// Registry metric names may embed Prometheus labels directly, for example
+// "viewchange_duration_seconds{phase=\"membership\"}". splitName separates
+// the family name from the label set (label set keeps no braces; empty if
+// none).
+func splitName(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	family = name[:i]
+	labels = strings.TrimSuffix(name[i+1:], "}")
+	return family, labels
+}
+
+// sanitize maps an internal metric name to a valid Prometheus metric name
+// component ([a-zA-Z0-9_:], no leading digit — ours never lead with one).
+func sanitize(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// labelSet renders a brace-wrapped label set from pre-rendered label
+// fragments, skipping empties.
+func labelSet(parts ...string) string {
+	var keep []string
+	for _, p := range parts {
+		if p != "" {
+			keep = append(keep, p)
+		}
+	}
+	if len(keep) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(keep, ",") + "}"
+}
+
+// row is one rendered exposition line: "<name> <value>".
+type row struct {
+	name  string
+	value string
+}
+
+// family groups the rendered rows of one metric family.
+type family struct {
+	typ  string
+	rows []row
+}
+
+// sortedNames returns m's keys sorted, so exposition output (and the
+// label-series order inside each family) is deterministic.
+func sortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (version 0.0.4), every family prefixed with "hafw_". Histograms are
+// rendered cumulatively with le bounds in seconds, bucket lines in
+// ascending le order.
+func WriteProm(w io.Writer, reg *metrics.Registry) error {
+	fams := make(map[string]*family)
+	var order []string
+	get := func(name, typ string) *family {
+		f, ok := fams[name]
+		if !ok {
+			f = &family{typ: typ}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+
+	counters := reg.Counters()
+	for _, name := range sortedNames(counters) {
+		base, labels := splitName(name)
+		fam := Namespace + "_" + sanitize(base)
+		f := get(fam, "counter")
+		f.rows = append(f.rows, row{fam + labelSet(labels), fmt.Sprintf("%d", counters[name])})
+	}
+	gauges := reg.Gauges()
+	for _, name := range sortedNames(gauges) {
+		base, labels := splitName(name)
+		fam := Namespace + "_" + sanitize(base)
+		f := get(fam, "gauge")
+		f.rows = append(f.rows, row{fam + labelSet(labels), fmt.Sprintf("%d", gauges[name])})
+	}
+	hists := reg.Histograms()
+	for _, name := range sortedNames(hists) {
+		base, labels := splitName(name)
+		fam := Namespace + "_" + sanitize(base)
+		f := get(fam, "histogram")
+		e := hists[name].Export()
+		var cum uint64
+		for _, b := range e.Buckets {
+			cum += b.Count
+			f.rows = append(f.rows, row{
+				fam + "_bucket" + labelSet(labels, fmt.Sprintf(`le="%g"`, b.Hi.Seconds())),
+				fmt.Sprintf("%d", cum),
+			})
+		}
+		f.rows = append(f.rows,
+			row{fam + "_bucket" + labelSet(labels, `le="+Inf"`), fmt.Sprintf("%d", e.Count)},
+			row{fam + "_sum" + labelSet(labels), fmt.Sprintf("%g", float64(e.MeanNS)*float64(e.Count)/1e9)},
+			row{fam + "_count" + labelSet(labels), fmt.Sprintf("%d", e.Count)},
+		)
+	}
+
+	for _, name := range order {
+		f := fams[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		for _, r := range f.rows {
+			if _, err := fmt.Fprintf(w, "%s %s\n", r.name, r.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

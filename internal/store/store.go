@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"hafw/internal/ids"
+	"hafw/internal/metrics"
 	"hafw/internal/unitdb"
 )
 
@@ -82,6 +83,9 @@ type Options struct {
 	// SegmentBytes rotates the active segment past this size. Zero means
 	// 4 MiB.
 	SegmentBytes int64
+	// Metrics, when non-nil, receives store telemetry (wal_fsync_seconds,
+	// wal_fsyncs_total).
+	Metrics *metrics.Registry
 }
 
 // Store is one unit's durable log. Append and Checkpoint are safe for
@@ -286,8 +290,13 @@ func (s *Store) syncLocked() error {
 	if s.opts.Policy == FsyncNever {
 		return nil
 	}
+	start := time.Now()
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("store: fsync: %w", err)
+	}
+	if s.opts.Metrics != nil {
+		s.opts.Metrics.Histogram("wal_fsync_seconds").Observe(time.Since(start))
+		s.opts.Metrics.Counter("wal_fsyncs_total").Inc()
 	}
 	return nil
 }
@@ -342,4 +351,32 @@ func (s *Store) SegmentSeq() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.seg
+}
+
+// Stats is a point-in-time store summary for diagnostics (/statusz).
+type Stats struct {
+	// Dir is the store directory.
+	Dir string `json:"dir"`
+	// Policy names the fsync policy.
+	Policy string `json:"policy"`
+	// Segment is the active segment index.
+	Segment uint64 `json:"segment"`
+	// SegmentBytes is the active segment's size so far.
+	SegmentBytes int64 `json:"segment_bytes"`
+	// AppendsSinceCheckpoint counts records logged since the last
+	// checkpoint.
+	AppendsSinceCheckpoint uint64 `json:"appends_since_checkpoint"`
+}
+
+// Stats returns a snapshot of the store's diagnostics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Dir:                    s.opts.Dir,
+		Policy:                 s.opts.Policy.String(),
+		Segment:                s.seg,
+		SegmentBytes:           s.segBytes,
+		AppendsSinceCheckpoint: s.appends,
+	}
 }

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"hafw/internal/ids"
+)
+
+func TestRecorderCapacityEvictsOldest(t *testing.T) {
+	r := NewRecorderCapacity(3)
+	for i := 0; i < 5; i++ {
+		r.Record(ids.ProcessID(i+1), KindUpdate, 1, "")
+	}
+	if got := r.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained = %d, want 3", len(evs))
+	}
+	// The newest three survive, in record order.
+	for i, want := range []ids.ProcessID{3, 4, 5} {
+		if evs[i].Node != want {
+			t.Errorf("event %d node = %v, want %v", i, evs[i].Node, want)
+		}
+	}
+}
+
+func TestRecorderUnboundedByDefault(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 10000; i++ {
+		r.Record(1, KindUpdate, 1, "")
+	}
+	if got := r.Dropped(); got != 0 {
+		t.Fatalf("Dropped = %d, want 0 (unbounded)", got)
+	}
+	if got := r.Count(""); got != 10000 {
+		t.Fatalf("Count = %d, want 10000", got)
+	}
+}
+
+func TestSetCapacityShrinksAndCountsDrops(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 6; i++ {
+		r.Record(ids.ProcessID(i+1), KindUpdate, 1, "")
+	}
+	r.SetCapacity(2)
+	if got := r.Dropped(); got != 4 {
+		t.Fatalf("Dropped after shrink = %d, want 4", got)
+	}
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Node != 5 || evs[1].Node != 6 {
+		t.Fatalf("retained after shrink = %+v, want nodes 5,6", evs)
+	}
+	// Wrapped state must still report record order after further appends.
+	r.Record(7, KindUpdate, 1, "")
+	evs = r.Events()
+	if len(evs) != 2 || evs[0].Node != 6 || evs[1].Node != 7 {
+		t.Fatalf("retained after wrap = %+v, want nodes 6,7", evs)
+	}
+	// Restoring unbounded growth keeps what remains and stops evicting.
+	r.SetCapacity(0)
+	for i := 0; i < 10; i++ {
+		r.Record(8, KindUpdate, 1, "")
+	}
+	if got := r.Dropped(); got != 5 {
+		t.Fatalf("Dropped after unbounding = %d, want 5", got)
+	}
+	if got := r.Count(""); got != 12 {
+		t.Fatalf("Count after unbounding = %d, want 12", got)
+	}
+}
+
+func TestSpanEvictionCountsAsDropped(t *testing.T) {
+	r := NewRecorderCapacity(1)
+	sp := r.StartSpan(1, 1, "a")
+	sp.End()
+	sp = r.StartSpan(1, 1, "b")
+	sp.End()
+	if got := r.Dropped(); got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+	durs := r.SpanDurations("b")
+	if len(durs) != 1 {
+		t.Fatalf("SpanDurations(b) = %v, want one entry", durs)
+	}
+}
+
+// TestDualPrimaryToleranceBoundary pins the tolerance comparison as
+// strict: an overlap exactly equal to the tolerance is absorbed, one
+// nanosecond more is a violation.
+func TestDualPrimaryToleranceBoundary(t *testing.T) {
+	const tol = 10 * time.Millisecond
+	events := []Event{
+		mk(0, 1, KindPromote, 1),
+		mk(110, 1, KindDemote, 1), // overlaps node 2's [100, 110+...] window
+		mk(100, 2, KindPromote, 1),
+		mk(200, 2, KindDemote, 1),
+	}
+	// Overlap is exactly 10ms == tolerance: absorbed.
+	if vs := DualPrimaryViolations(events, tol); len(vs) != 0 {
+		t.Fatalf("overlap == tolerance produced violations: %v", vs)
+	}
+	// One nanosecond past the tolerance: reported.
+	events[1].At = events[1].At.Add(time.Nanosecond)
+	vs := DualPrimaryViolations(events, tol)
+	if len(vs) != 1 {
+		t.Fatalf("overlap just past tolerance: violations = %v, want 1", vs)
+	}
+	if vs[0].Overlap != tol+time.Nanosecond {
+		t.Errorf("Overlap = %v, want %v", vs[0].Overlap, tol+time.Nanosecond)
+	}
+	// Zero tolerance keeps any positive overlap.
+	if vs := DualPrimaryViolations(events, 0); len(vs) != 1 {
+		t.Fatalf("zero tolerance: violations = %v, want 1", vs)
+	}
+}
+
+// TestUnavailabilityOpenIntervalExtendsToUntil pins the open-interval
+// rule: a primaryship with no recorded end covers through `until`, so a
+// still-open takeover after a gap yields exactly the gap.
+func TestUnavailabilityOpenIntervalExtendsToUntil(t *testing.T) {
+	events := []Event{
+		mk(0, 1, KindPromote, 1),
+		mk(100, 1, KindDemote, 1),
+		mk(150, 2, KindPromote, 1), // still open: no demote recorded
+	}
+	until := base.Add(500 * time.Millisecond)
+	gaps := UnavailabilityWindows(events, until)
+	if len(gaps[1]) != 1 || gaps[1][0] != 50*time.Millisecond {
+		t.Fatalf("gaps = %v, want one 50ms gap", gaps[1])
+	}
+
+	// An open first interval covers everything; a later interval starting
+	// inside it creates no gap even though the first never ended.
+	events = []Event{
+		mk(0, 1, KindPromote, 1),
+		mk(200, 2, KindPromote, 1),
+		mk(300, 2, KindDemote, 1),
+	}
+	gaps = UnavailabilityWindows(events, until)
+	if len(gaps[1]) != 0 {
+		t.Fatalf("open first interval: gaps = %v, want none", gaps[1])
+	}
+}

@@ -61,20 +61,81 @@ type Event struct {
 	Dur time.Duration
 }
 
-// Recorder accumulates events; safe for concurrent use.
+// Recorder accumulates events; safe for concurrent use. By default it
+// grows without bound (experiment harnesses want every event); long-running
+// nodes cap it with NewRecorderCapacity or SetCapacity, after which the
+// oldest events are evicted and counted as dropped.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
+	mu      sync.Mutex
+	events  []Event
+	cap     int // 0 = unbounded
+	start   int // index of the oldest event once the ring has wrapped
+	dropped uint64
 }
 
-// NewRecorder creates an empty recorder.
+// NewRecorder creates an empty, unbounded recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
+
+// NewRecorderCapacity creates a recorder that retains at most capacity
+// events, evicting the oldest. capacity <= 0 means unbounded.
+func NewRecorderCapacity(capacity int) *Recorder {
+	r := &Recorder{}
+	r.SetCapacity(capacity)
+	return r
+}
+
+// SetCapacity bounds the recorder to the newest capacity events from now
+// on (0 or negative restores unbounded growth). If more than capacity
+// events are already held, the oldest are evicted immediately and counted
+// as dropped.
+func (r *Recorder) SetCapacity(capacity int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if capacity < 0 {
+		capacity = 0
+	}
+	// Normalize to record order before changing the ring geometry.
+	r.events = r.orderedLocked()
+	r.start = 0
+	r.cap = capacity
+	if capacity > 0 && len(r.events) > capacity {
+		drop := len(r.events) - capacity
+		r.events = append([]Event(nil), r.events[drop:]...)
+		r.dropped += uint64(drop)
+	}
+}
+
+// Dropped returns how many events have been evicted to honor the capacity.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// appendLocked adds one event, evicting the oldest when at capacity.
+func (r *Recorder) appendLocked(e Event) {
+	if r.cap > 0 && len(r.events) == r.cap {
+		r.events[r.start] = e
+		r.start = (r.start + 1) % r.cap
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// orderedLocked returns the retained events in record order.
+func (r *Recorder) orderedLocked() []Event {
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
+	return out
+}
 
 // Record appends an event stamped now.
 func (r *Recorder) Record(node ids.ProcessID, kind Kind, session ids.SessionID, detail string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.events = append(r.events, Event{
+	r.appendLocked(Event{
 		At: time.Now(), Node: node, Kind: kind, Session: session, Detail: detail,
 	})
 }
@@ -111,7 +172,7 @@ func (s *Span) End() {
 	s.ended = true
 	s.r.mu.Lock()
 	defer s.r.mu.Unlock()
-	s.r.events = append(s.r.events, Event{
+	s.r.appendLocked(Event{
 		At: time.Now(), Node: s.node, Kind: KindSpan, Session: s.session,
 		Detail: s.detail, Dur: time.Since(s.start),
 	})
@@ -123,7 +184,7 @@ func (r *Recorder) SpanDurations(detail string) []time.Duration {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var out []time.Duration
-	for _, e := range r.events {
+	for _, e := range r.orderedLocked() {
 		if e.Kind == KindSpan && (detail == "" || e.Detail == detail) {
 			out = append(out, e.Dur)
 		}
@@ -131,13 +192,11 @@ func (r *Recorder) SpanDurations(detail string) []time.Duration {
 	return out
 }
 
-// Events returns a copy of everything recorded, in record order.
+// Events returns a copy of everything retained, in record order.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
-	return out
+	return r.orderedLocked()
 }
 
 // Count returns the number of events of a kind (all kinds if empty).

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"hafw/internal/ids"
+	"hafw/internal/metrics"
 	"hafw/internal/transport"
 	"hafw/internal/wire"
 )
@@ -289,6 +290,7 @@ func (n *Network) deliver(env Envelope) {
 		n.mu.Lock()
 		n.stats.Delivered++
 		n.mu.Unlock()
+		dst.countRecv(env.env.Payload.WireName(), len(env.encoded))
 	case <-dst.done:
 	default:
 		n.mu.Lock()
@@ -314,6 +316,11 @@ type Endpoint struct {
 	handler transport.Handler
 	closed  bool
 
+	// Per-type counter families, cached so the per-message hot path pays
+	// no name formatting or registry lock. All four are set together by
+	// SetMetrics and nil when metrics are off.
+	sendCount, sendBytes, recvCount, recvBytes *metrics.CounterVec
+
 	queue chan wire.Envelope
 	done  chan struct{}
 }
@@ -322,6 +329,46 @@ var _ transport.Transport = (*Endpoint)(nil)
 
 // Self implements transport.Transport.
 func (e *Endpoint) Self() ids.EndpointID { return e.id }
+
+// SetMetrics attaches a registry recording per-message-type send/recv
+// counts and bytes for this endpoint (transport_send_total and friends).
+func (e *Endpoint) SetMetrics(reg *metrics.Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if reg == nil {
+		e.sendCount, e.sendBytes, e.recvCount, e.recvBytes = nil, nil, nil, nil
+		return
+	}
+	e.sendCount = reg.CounterVec(`transport_send_total{type=%q}`)
+	e.sendBytes = reg.CounterVec(`transport_send_bytes_total{type=%q}`)
+	e.recvCount = reg.CounterVec(`transport_recv_total{type=%q}`)
+	e.recvBytes = reg.CounterVec(`transport_recv_bytes_total{type=%q}`)
+}
+
+// countSend records one outbound envelope.
+func (e *Endpoint) countSend(typ string, nbytes int) {
+	e.mu.Lock()
+	count, bytes := e.sendCount, e.sendBytes
+	e.mu.Unlock()
+	if count == nil {
+		return
+	}
+	count.With(typ).Inc()
+	bytes.With(typ).Add(uint64(nbytes))
+}
+
+// countRecv records one inbound envelope (called at delivery time, when
+// the encoded size is still known).
+func (e *Endpoint) countRecv(typ string, nbytes int) {
+	e.mu.Lock()
+	count, bytes := e.recvCount, e.recvBytes
+	e.mu.Unlock()
+	if count == nil {
+		return
+	}
+	count.With(typ).Inc()
+	bytes.With(typ).Add(uint64(nbytes))
+}
 
 // SetHandler implements transport.Transport.
 func (e *Endpoint) SetHandler(h transport.Handler) {
@@ -349,6 +396,7 @@ func (e *Endpoint) Send(to ids.EndpointID, m wire.Message) error {
 	if err != nil {
 		return fmt.Errorf("memnet: payload does not survive codec round-trip: %w", err)
 	}
+	e.countSend(m.WireName(), len(data))
 	e.net.send(Envelope{env: env, encoded: data})
 	return nil
 }

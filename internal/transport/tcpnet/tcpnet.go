@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"hafw/internal/ids"
+	"hafw/internal/metrics"
 	"hafw/internal/transport"
 	"hafw/internal/wire"
 )
@@ -38,6 +39,9 @@ type Config struct {
 	DialTimeout time.Duration
 	// WriteTimeout bounds each frame write. Zero means 2s.
 	WriteTimeout time.Duration
+	// Metrics, when non-nil, records per-message-type send/recv counts and
+	// bytes (transport_send_total and friends).
+	Metrics *metrics.Registry
 }
 
 // Transport is a TCP-backed transport.Transport.
@@ -55,6 +59,10 @@ type Transport struct {
 	// the connection they opened.
 	replyConns map[ids.EndpointID]net.Conn
 	closed     bool
+
+	// Per-type counter families, cached so the per-message hot path pays
+	// no name formatting or registry lock. Nil when metrics are off.
+	sendCount, sendBytes, recvCount, recvBytes *metrics.CounterVec
 
 	wg sync.WaitGroup
 }
@@ -78,6 +86,12 @@ func New(cfg Config) (*Transport, error) {
 		conns:      make(map[ids.EndpointID]net.Conn),
 		accepted:   make(map[net.Conn]bool),
 		replyConns: make(map[ids.EndpointID]net.Conn),
+	}
+	if cfg.Metrics != nil {
+		t.sendCount = cfg.Metrics.CounterVec(`transport_send_total{type=%q}`)
+		t.sendBytes = cfg.Metrics.CounterVec(`transport_send_bytes_total{type=%q}`)
+		t.recvCount = cfg.Metrics.CounterVec(`transport_recv_total{type=%q}`)
+		t.recvBytes = cfg.Metrics.CounterVec(`transport_recv_bytes_total{type=%q}`)
 	}
 	for id, addr := range cfg.Peers {
 		t.peers[id] = addr
@@ -133,6 +147,7 @@ func (t *Transport) Send(to ids.EndpointID, m wire.Message) error {
 	if err != nil {
 		return err
 	}
+	t.count("send", m.WireName(), len(data))
 
 	t.mu.Lock()
 	if t.closed {
@@ -191,6 +206,19 @@ func (t *Transport) Send(to ids.EndpointID, m wire.Message) error {
 		t.dropConn(to, conn)
 	}
 	return nil
+}
+
+// count records one envelope in the per-message-type transport counters.
+func (t *Transport) count(dir, typ string, nbytes int) {
+	count, bytes := t.sendCount, t.sendBytes
+	if dir == "recv" {
+		count, bytes = t.recvCount, t.recvBytes
+	}
+	if count == nil {
+		return
+	}
+	count.With(typ).Inc()
+	bytes.With(typ).Add(uint64(nbytes))
 }
 
 // dropConn closes and forgets a cached connection if it is still the one
@@ -284,6 +312,7 @@ func (t *Transport) readLoop(conn net.Conn) {
 		if env.To != t.cfg.Self {
 			continue // misrouted; a real host would drop it too
 		}
+		t.count("recv", env.Payload.WireName(), len(data))
 		t.mu.Lock()
 		t.replyConns[env.From] = conn
 		h := t.handler

@@ -105,6 +105,9 @@ type MessageEvent struct {
 	// view-change flush (whose relative order is deterministic but not
 	// numbered).
 	Seq uint64
+	// TC is the sender's trace context, carried verbatim from the wire for
+	// the observability layer (zero for untraced messages).
+	TC wire.TraceContext
 }
 
 func (MessageEvent) isEvent() {}

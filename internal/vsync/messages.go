@@ -26,6 +26,9 @@ type Data struct {
 	From ids.EndpointID
 	// Payload is the application message.
 	Payload wire.Message
+	// TC is the sender's trace context, propagated verbatim for the
+	// observability layer; it never affects protocol behavior.
+	TC wire.TraceContext
 }
 
 // WireName implements wire.Message.
@@ -51,6 +54,9 @@ type SeqData struct {
 	// sequence number from which the joiner participates. Pre-join
 	// sequence numbers are never delivered to the joiner.
 	BaseSeq uint64
+	// TC is the original sender's trace context (copied from Data),
+	// propagated verbatim for the observability layer.
+	TC wire.TraceContext
 }
 
 // WireName implements wire.Message.
@@ -145,6 +151,9 @@ type ClientSend struct {
 	ID ids.MsgID
 	// Payload is the application message.
 	Payload wire.Message
+	// TC is the client's trace context, propagated verbatim for the
+	// observability layer.
+	TC wire.TraceContext
 }
 
 // WireName implements wire.Message.
@@ -179,6 +188,7 @@ type flushMsg struct {
 	From    ids.EndpointID
 	Payload wire.Message
 	BaseSeq uint64
+	TC      wire.TraceContext
 }
 
 // flushState is the synchronization blob exchanged through the membership

@@ -7,6 +7,7 @@ import (
 
 	"hafw/internal/ids"
 	"hafw/internal/membership"
+	"hafw/internal/metrics"
 	"hafw/internal/wire"
 )
 
@@ -34,6 +35,10 @@ type Config struct {
 	// HistoryLimit caps the per-destination retransmission buffer at the
 	// coordinator. Zero means 16384 messages.
 	HistoryLimit int
+	// Metrics receives vsync telemetry (view-change membership-phase
+	// latency, flush sizes). Nil selects a private registry, so
+	// instrumentation never needs guarding.
+	Metrics *metrics.Registry
 }
 
 // pendingData tracks one sent-but-unsequenced message for retry and flush.
@@ -115,6 +120,9 @@ type Node struct {
 	// blocked is true between a membership Block and the next Install;
 	// while blocked the node neither initiates, sequences, nor delivers.
 	blocked bool
+	// blockedAt is when the current flush froze the node (zero when not
+	// blocked); Install observes the membership phase duration from it.
+	blockedAt time.Time
 
 	// dir is the delivery-side group directory.
 	dir map[ids.GroupName]map[ids.ProcessID]bool
@@ -175,6 +183,9 @@ func New(cfg Config) *Node {
 	}
 	if cfg.HistoryLimit == 0 {
 		cfg.HistoryLimit = 16384
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
 	}
 	n := &Node{
 		cfg:        cfg,
@@ -257,6 +268,13 @@ func (n *Node) GroupsWithPrefix(prefix string) []ids.GroupName {
 // synchronous delivery. The sender need not be a member. The call is
 // asynchronous: delivery happens via OnEvent.
 func (n *Node) Multicast(g ids.GroupName, payload wire.Message) error {
+	return n.MulticastTC(g, payload, wire.TraceContext{})
+}
+
+// MulticastTC is Multicast carrying the sender's trace context; the
+// context rides to every delivery of the message and surfaces in the
+// MessageEvent, without influencing ordering or membership.
+func (n *Node) MulticastTC(g ids.GroupName, payload wire.Message, tc wire.TraceContext) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.nextMsgSeq++
@@ -266,6 +284,7 @@ func (n *Node) Multicast(g ids.GroupName, payload wire.Message) error {
 		Group:   g,
 		From:    ids.ProcessEndpoint(n.cfg.Self),
 		Payload: payload,
+		TC:      tc,
 	}
 	n.routeDataLocked(d)
 	return nil
@@ -432,6 +451,7 @@ func (n *Node) sequenceLocked(from ids.EndpointID, d Data) {
 		sd := SeqData{
 			VID: d.VID, Group: d.Group, Seq: seq, DSeq: dseq,
 			ID: d.ID, From: d.From, Payload: d.Payload, BaseSeq: baseSeq,
+			TC: d.TC,
 		}
 		n.coordRetainLocked(dest, sd)
 		if dest == n.cfg.Self {
@@ -552,12 +572,12 @@ func (n *Node) deliverSeqLocked(sd SeqData) {
 	}
 	g.deliveredIDs[sd.ID] = true
 	g.retained[sd.Seq] = sd
-	n.applyDeliveryLocked(sd.Group, sd.From, sd.ID, sd.Payload, sd.Seq, sd.BaseSeq)
+	n.applyDeliveryLocked(sd.Group, sd.From, sd.ID, sd.Payload, sd.Seq, sd.BaseSeq, sd.TC)
 }
 
 // applyDeliveryLocked interprets one delivered message: directory updates
 // change group views; application messages surface as events.
-func (n *Node) applyDeliveryLocked(group ids.GroupName, from ids.EndpointID, id ids.MsgID, payload wire.Message, seq, baseSeq uint64) {
+func (n *Node) applyDeliveryLocked(group ids.GroupName, from ids.EndpointID, id ids.MsgID, payload wire.Message, seq, baseSeq uint64, tc wire.TraceContext) {
 	if group == DirGroup {
 		switch p := payload.(type) {
 		case JoinGroup:
@@ -600,7 +620,7 @@ func (n *Node) applyDeliveryLocked(group ids.GroupName, from ids.EndpointID, id 
 	if !n.dir[group][n.cfg.Self] {
 		return // not (or no longer) a member: do not surface
 	}
-	n.events.push(MessageEvent{Group: group, From: from, ID: id, Payload: payload, Seq: seq})
+	n.events.push(MessageEvent{Group: group, From: from, ID: id, Payload: payload, Seq: seq, TC: tc})
 }
 
 // emitGroupViewLocked pushes a ViewEvent for g reflecting the current
@@ -661,6 +681,7 @@ func (n *Node) handleClientSendLocked(from ids.EndpointID, cs ClientSend) {
 		Group:   cs.Group,
 		From:    from,
 		Payload: cs.Payload,
+		TC:      cs.TC,
 	}
 	if _, dup := n.pending[cs.ID]; dup {
 		return // already forwarding this one
@@ -865,6 +886,9 @@ func (n *Node) handleNackLocked(from ids.EndpointID, nk Nack) {
 func (n *Node) Block() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if !n.blocked {
+		n.blockedAt = time.Now()
+	}
 	n.blocked = true
 }
 
@@ -884,7 +908,7 @@ func (n *Node) Collect() []byte {
 		for seq, sd := range rec.retained {
 			fs.Msgs = append(fs.Msgs, flushMsg{
 				Group: g, Seq: seq, ID: sd.ID, From: sd.From,
-				Payload: sd.Payload, BaseSeq: sd.BaseSeq,
+				Payload: sd.Payload, BaseSeq: sd.BaseSeq, TC: sd.TC,
 			})
 		}
 	}
@@ -892,7 +916,7 @@ func (n *Node) Collect() []byte {
 	for _, sd := range n.dseqBuf {
 		fs.Msgs = append(fs.Msgs, flushMsg{
 			Group: sd.Group, Seq: sd.Seq, ID: sd.ID, From: sd.From,
-			Payload: sd.Payload, BaseSeq: sd.BaseSeq,
+			Payload: sd.Payload, BaseSeq: sd.BaseSeq, TC: sd.TC,
 		})
 	}
 	for _, p := range n.pending {
@@ -1021,7 +1045,7 @@ func (n *Node) Install(v membership.View, states map[ids.ProcessID][]byte) {
 				continue
 			}
 			rec.deliveredIDs[fm.ID] = true
-			n.applyDeliveryLocked(gname, fm.From, fm.ID, fm.Payload, fm.Seq, fm.BaseSeq)
+			n.applyDeliveryLocked(gname, fm.From, fm.ID, fm.Payload, fm.Seq, fm.BaseSeq, fm.TC)
 		}
 	}
 
@@ -1039,7 +1063,7 @@ func (n *Node) Install(v membership.View, states map[ids.ProcessID][]byte) {
 				}
 				n.grp[jg.Group] = newGroupRecv(max)
 			}
-			n.applyDeliveryLocked(DirGroup, pd.From, pd.ID, pd.Payload, 0, 0)
+			n.applyDeliveryLocked(DirGroup, pd.From, pd.ID, pd.Payload, 0, 0, pd.TC)
 			continue
 		}
 		rec := n.grp[pd.Group]
@@ -1050,8 +1074,16 @@ func (n *Node) Install(v membership.View, states map[ids.ProcessID][]byte) {
 			continue
 		}
 		rec.deliveredIDs[pd.ID] = true
-		n.applyDeliveryLocked(pd.Group, pd.From, pd.ID, pd.Payload, 0, 0)
+		n.applyDeliveryLocked(pd.Group, pd.From, pd.ID, pd.Payload, 0, 0, pd.TC)
 	}
+
+	// The membership phase of this view change ran from the freeze to
+	// here: agreement plus flush-state exchange plus the merge above.
+	if !n.blockedAt.IsZero() {
+		n.cfg.Metrics.Histogram(`viewchange_duration_seconds{phase="membership"}`).Observe(time.Since(n.blockedAt))
+		n.blockedAt = time.Time{}
+	}
+	n.cfg.Metrics.Counter("view_installs_total").Inc()
 
 	// Adopt the merged directory and the new view; reset per-view state.
 	n.dir = dirMerge

@@ -43,6 +43,26 @@ type Envelope struct {
 	Payload Message
 }
 
+// TraceContext identifies a position in a cross-node causal trace. It is
+// carried as an append-only field on protocol messages so that a client
+// request, the view change it survives, and the new primary's response can
+// be stitched into one timeline by the observability layer. A zero
+// TraceContext means "untraced"; layers propagate it verbatim and never
+// branch replicated behavior on it.
+type TraceContext struct {
+	// TraceID groups every span of one causal chain.
+	TraceID uint64
+	// SpanID identifies the sender's current span.
+	SpanID uint64
+	// ParentID identifies the span that caused SpanID (zero at the root).
+	ParentID uint64
+}
+
+// IsZero reports whether tc carries no trace.
+func (tc TraceContext) IsZero() bool {
+	return tc.TraceID == 0 && tc.SpanID == 0 && tc.ParentID == 0
+}
+
 var (
 	registryMu sync.RWMutex
 	registry   = make(map[string]bool)

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — end-to-end smoke test of the observability layer over a
+# real 3-node tcpnet deployment: boot hanodes with -http, stream through
+# a failover, scrape /metrics and /statusz, assert the metric families
+# the live observability layer promises, and run hastat (table + merged
+# Chrome trace). Exits non-zero on any missing family or scrape failure.
+#
+# Usage: scripts/obs_smoke.sh [bindir]
+#   bindir — directory holding prebuilt hanode/haclient/hastat binaries;
+#            when absent they are built into a temp dir first.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BINDIR="${1:-}"
+WORK="$(mktemp -d)"
+cleanup() {
+  kill "${PIDS[@]}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+PIDS=()
+
+if [ -z "$BINDIR" ]; then
+  BINDIR="$WORK/bin"
+  mkdir -p "$BINDIR"
+  go build -o "$BINDIR" ./cmd/hanode ./cmd/haclient ./cmd/hastat
+fi
+
+PEERS="1=127.0.0.1:7301,2=127.0.0.1:7302,3=127.0.0.1:7303"
+OPS=(127.0.0.1:9301 127.0.0.1:9302 127.0.0.1:9303)
+
+for i in 1 2 3; do
+  "$BINDIR/hanode" -id "$i" -listen "127.0.0.1:730$i" -peers "$PEERS" \
+    -http "${OPS[$((i - 1))]}" -propagation 100ms -stats 0 \
+    >"$WORK/node$i.log" 2>&1 &
+  PIDS+=($!)
+done
+
+# Wait for every ops endpoint to come up.
+for addr in "${OPS[@]}"; do
+  for _ in $(seq 1 50); do
+    curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+  curl -fsS "http://$addr/healthz" >/dev/null
+done
+echo "== cluster up, ops endpoints healthy"
+
+# Stream through a failover: play for 10s total, kill node 3 at t=3s. The
+# client keeps playing against the survivors, so post-failover telemetry
+# (view change phases, takeover handoff spans) lands on nodes 1 and 2.
+"$BINDIR/haclient" -servers "$PEERS" -play 10s >"$WORK/client.log" 2>&1 &
+CLIENT=$!
+sleep 3
+kill "${PIDS[2]}"
+echo "== killed node 3 mid-stream"
+
+# Scrape mid-stream (a few seconds after the takeover) so /statusz still
+# shows the live session. Per-node families must appear on every
+# survivor; backup staleness is role-dependent (only a backup observes
+# it), so it is asserted across the union of survivors.
+sleep 4
+fail=0
+union=""
+for addr in "${OPS[0]}" "${OPS[1]}"; do
+  metrics="$(curl -fsS "http://$addr/metrics")"
+  union="$union$metrics"
+  for family in \
+    'hafw_viewchange_duration_seconds_bucket{phase="membership"' \
+    'hafw_viewchange_duration_seconds_bucket{phase="state_exchange"' \
+    'hafw_transport_send_total{type=' \
+    'hafw_transport_recv_total{type='; do
+    if ! grep -qF "$family" <<<"$metrics"; then
+      echo "MISSING on $addr: $family" >&2
+      fail=1
+    fi
+  done
+  statusz="$(curl -fsS "http://$addr/statusz")"
+  for field in '"node"' '"units"' '"sessions"' '"histograms"'; do
+    if ! grep -qF "$field" <<<"$statusz"; then
+      echo "MISSING statusz field on $addr: $field" >&2
+      fail=1
+    fi
+  done
+done
+for family in hafw_backup_staleness_seconds_bucket hafw_propagation_lag_seconds_count; do
+  if ! grep -qF "$family" <<<"$union"; then
+    echo "MISSING on every survivor: $family" >&2
+    fail=1
+  fi
+done
+[ "$fail" -eq 0 ] || { echo "metric assertions FAILED" >&2; exit 1; }
+echo "== survivors expose every promised metric family"
+
+wait "$CLIENT"
+echo "== client finished streaming through the failover"
+
+# The cluster inspector: one table pass and one merged Chrome trace
+# (node 3 is down — hastat must tolerate the unreachable node).
+"$BINDIR/hastat" -nodes "${OPS[0]},${OPS[1]},${OPS[2]}"
+"$BINDIR/hastat" -nodes "${OPS[0]},${OPS[1]}" -trace "$WORK/trace.json" \
+  | tee "$WORK/hastat_trace.out"
+grep -q '"ph"' "$WORK/trace.json" || { echo "trace file has no events" >&2; exit 1; }
+# The merged trace must causally link spans across nodes.
+links="$(sed -n 's/.*nodes, \([0-9]*\) cross-node causal links.*/\1/p' "$WORK/hastat_trace.out")"
+if [ -z "$links" ] || [ "$links" -lt 1 ]; then
+  echo "merged trace has no cross-node causal links" >&2
+  exit 1
+fi
+echo "== obs smoke OK (merged trace with $links cross-node links)"
