@@ -1,7 +1,12 @@
 // Command haclient is a framework client over real TCP: it discovers the
 // content units a hanode deployment offers, opens a streaming session, and
-// reports playback statistics — including the duplicate/missing frame
-// counts that quantify failovers if you kill nodes while it plays.
+// reports playback statistics — including the stall/duplicate accounting
+// that quantifies failovers if you kill nodes while it plays.
+//
+// The default mode streams a chunked title: fetch the manifest, issue
+// windowed GetChunk pulls, verify every chunk's CRC, and pace playback at
+// the manifest bitrate. -mode frames drives the legacy frame-push vod
+// service (pair with hanode -service vod-frames).
 //
 // Example (against the hanode deployment from cmd/hanode's doc):
 //
@@ -27,8 +32,16 @@ func main() {
 		servers = flag.String("servers", "", "comma-separated id=addr server list (required)")
 		listen  = flag.String("listen", "127.0.0.1:0", "TCP listen address for responses")
 		unit    = flag.String("unit", "", "content unit to play (default: first listed)")
-		play    = flag.Duration("play", 15*time.Second, "how long to stream")
-		seekTo  = flag.Uint64("seek", 0, "seek to this frame after 2s (0 = no seek)")
+		mode    = flag.String("mode", "stream", "player mode: stream (chunked pull) or frames (legacy push)")
+		play    = flag.Duration("play", 15*time.Second, "wall-time playback budget (0 = until end of title)")
+
+		window      = flag.Int("window", 16, "stream: pull window in chunks")
+		speed       = flag.Float64("speed", 1, "stream: playback-speed multiplier")
+		pullTimeout = flag.Duration("pull-timeout", 500*time.Millisecond, "stream: no-progress re-pull interval (failover recovery)")
+		maxStall    = flag.Duration("max-stall", 0, "stream: exit non-zero if total stall time exceeds this (0 = no limit)")
+		requireEOF  = flag.Bool("require-eof", false, "stream: exit non-zero unless playback reaches end of title")
+
+		seekTo = flag.Uint64("seek", 0, "frames: seek to this frame after 2s (0 = no seek)")
 	)
 	flag.Parse()
 	if *servers == "" {
@@ -76,6 +89,82 @@ func main() {
 		target = units[0].Unit
 	}
 
+	switch *mode {
+	case "stream":
+		runStream(client, target, *play, *window, *speed, *pullTimeout, *maxStall, *requireEOF)
+	case "frames":
+		runFrames(client, target, *play, *seekTo)
+	default:
+		log.Fatalf("unknown -mode %q (want stream or frames)", *mode)
+	}
+}
+
+// runStream plays a chunked title through the pull player, printing
+// progress while Run blocks, then the playback report. It exits the
+// process non-zero when the playback violates the requested bounds.
+func runStream(client *core.Client, target ids.UnitName, play time.Duration, window int, speed float64, pullTimeout, maxStall time.Duration, requireEOF bool) {
+	player := vod.NewStreamPlayer(vod.StreamPlayerConfig{
+		Window:      window,
+		Speed:       speed,
+		PullTimeout: pullTimeout,
+	})
+	sess, err := client.StartSession(target, player.Handler)
+	if err != nil {
+		log.Fatalf("StartSession(%s): %v", target, err)
+	}
+	log.Printf("session %v open on %q (group %s); streaming for up to %v (window=%d speed=%.1fx)",
+		sess.ID, target, sess.Group, play, window, speed)
+
+	progress := time.NewTicker(2 * time.Second)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-progress.C:
+				st := player.Stats()
+				log.Printf("chunks=%d bytes=%d stalls=%d stall=%v dup=%d pulls=%d repulls=%d",
+					st.Chunks, st.Bytes, st.Stalls, st.StallTime.Round(time.Millisecond), st.Duplicates, st.Pulls, st.Repulls)
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	stats, runErr := player.Run(sess, play)
+	close(done)
+	progress.Stop()
+	if err := sess.End(); err != nil {
+		log.Printf("EndSession: %v", err)
+	}
+
+	fmt.Printf("\nplayback report for %q:\n", target)
+	fmt.Printf("  completed         %v\n", stats.Completed)
+	fmt.Printf("  chunks / bytes    %d / %d\n", stats.Chunks, stats.Bytes)
+	fmt.Printf("  startup delay     %v\n", stats.StartupDelay.Round(time.Millisecond))
+	fmt.Printf("  stalls            %d events, %v total\n", stats.Stalls, stats.StallTime.Round(time.Millisecond))
+	fmt.Printf("  duplicates        %d (takeover window)\n", stats.Duplicates)
+	fmt.Printf("  crc errors        %d\n", stats.CRCErrors)
+	fmt.Printf("  pulls / repulls   %d / %d (%d send retries)\n", stats.Pulls, stats.Repulls, stats.PullErrors)
+
+	switch {
+	case runErr != nil:
+		log.Printf("playback failed: %v", runErr)
+		os.Exit(1)
+	case stats.CRCErrors > 0:
+		log.Printf("playback delivered %d corrupt chunks", stats.CRCErrors)
+		os.Exit(1)
+	case requireEOF && !stats.Completed:
+		log.Printf("playback did not reach end of title within %v", play)
+		os.Exit(1)
+	case maxStall > 0 && stats.StallTime > maxStall:
+		log.Printf("total stall %v exceeds -max-stall %v", stats.StallTime, maxStall)
+		os.Exit(1)
+	}
+}
+
+// runFrames plays through the legacy frame-push service for the wall
+// budget, then prints the frame report.
+func runFrames(client *core.Client, target ids.UnitName, play time.Duration, seekTo uint64) {
 	// The player needs the movie shape for gap classification; the
 	// deployment serves DefaultMovie-shaped units.
 	player := vod.NewPlayer(vod.DefaultMovie(target))
@@ -83,22 +172,22 @@ func main() {
 	if err != nil {
 		log.Fatalf("StartSession(%s): %v", target, err)
 	}
-	log.Printf("session %v open on %q (group %s); playing for %v", sess.ID, target, sess.Group, *play)
+	log.Printf("session %v open on %q (group %s); playing for %v", sess.ID, target, sess.Group, play)
 
-	if *seekTo > 0 {
+	if seekTo > 0 {
 		go func() {
 			time.Sleep(2 * time.Second)
-			if err := sess.Send(vod.Seek{Frame: *seekTo}); err != nil {
+			if err := sess.Send(vod.Seek{Frame: seekTo}); err != nil {
 				log.Printf("seek: %v", err)
 			} else {
-				log.Printf("seeked to frame %d", *seekTo)
+				log.Printf("seeked to frame %d", seekTo)
 			}
 		}()
 	}
 
 	ticker := time.NewTicker(2 * time.Second)
 	defer ticker.Stop()
-	deadline := time.After(*play)
+	deadline := time.After(play)
 loop:
 	for {
 		select {

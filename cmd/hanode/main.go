@@ -10,6 +10,13 @@
 //
 // then attach a client with cmd/haclient. Killing a node mid-stream
 // demonstrates the takeover; the client keeps playing.
+//
+// The default vod service is the chunked segment stream: clients fetch a
+// manifest and issue windowed GetChunk pulls against CRC-framed chunks
+// (-bitrate, -seg-duration, -chunk-bytes shape the title; -media-dir
+// serves from / materializes into an on-disk segment store). The original
+// frame-push MPEG service remains available as -service vod-frames, and
+// -service echo runs the loadgen measurement target.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"hafw/internal/core"
 	"hafw/internal/ids"
 	"hafw/internal/loadgen"
+	"hafw/internal/media"
 	"hafw/internal/metrics"
 	"hafw/internal/obs"
 	"hafw/internal/services/vod"
@@ -37,10 +45,15 @@ func main() {
 		listen   = flag.String("listen", "", "TCP listen address (required)")
 		peers    = flag.String("peers", "", "comma-separated id=addr peer list, including self")
 		unit     = flag.String("unit", "big-buck-bunny", "movie (content unit) to serve")
-		service  = flag.String("service", "vod", "service to run: vod (streaming movie) or echo (loadgen measurement target)")
+		service  = flag.String("service", "vod", "service to run: vod (chunked segment stream), vod-frames (legacy frame push), or echo (loadgen measurement target)")
 		backups  = flag.Int("backups", 1, "backup servers per session (the paper's B)")
 		prop     = flag.Duration("propagation", 500*time.Millisecond, "context propagation period (the paper's T)")
-		fps      = flag.Float64("fps", 24, "movie frame rate")
+		fps      = flag.Float64("fps", 24, "vod-frames: movie frame rate")
+		bitrate  = flag.Int("bitrate", 1_000_000, "vod: title bitrate, bytes/second")
+		segDur   = flag.Duration("seg-duration", time.Second, "vod: segment duration")
+		chunkB   = flag.Int("chunk-bytes", 64<<10, "vod: chunk size in bytes")
+		mediaDur = flag.Duration("media-duration", 60*time.Second, "vod: title duration")
+		mediaDir = flag.String("media-dir", "", "vod: on-disk segment store; missing content is synthesized and written there (empty = in-memory synthesis)")
 		stats    = flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 		dataDir  = flag.String("data-dir", "", "directory for the durable unit store (empty = in-memory only)")
 		fsync    = flag.String("fsync", "interval", "fsync policy for the durable store: always, interval, or never")
@@ -78,13 +91,26 @@ func main() {
 	var svc core.Service
 	switch *service {
 	case "vod":
+		spec := media.Spec{
+			Title:           *unit,
+			Duration:        *mediaDur,
+			SegmentDuration: *segDur,
+			BitrateBps:      *bitrate,
+			ChunkBytes:      *chunkB,
+		}
+		src, err := openMediaStore(spec, *mediaDir)
+		if err != nil {
+			log.Fatalf("media store: %v", err)
+		}
+		svc = vod.NewStream(src, reg)
+	case "vod-frames":
 		movie := vod.DefaultMovie(unitName)
 		movie.FPS = *fps
 		svc = vod.New(movie, vod.MPEGPolicy)
 	case "echo":
 		svc = loadgen.NewEchoService()
 	default:
-		log.Fatalf("unknown -service %q (want vod or echo)", *service)
+		log.Fatalf("unknown -service %q (want vod, vod-frames, or echo)", *service)
 	}
 	srv, err := core.NewServer(core.Config{
 		Self:      ids.ProcessID(*id),
@@ -146,6 +172,24 @@ func main() {
 	<-sig
 	log.Printf("shutting down")
 	srv.Stop()
+}
+
+// openMediaStore resolves the chunk source for the stream service. With no
+// directory it synthesizes in memory (deterministic from the title, so all
+// replicas hold identical bytes). With a directory it serves the on-disk
+// segment store, materializing the synthetic title there first if the
+// manifest is missing.
+func openMediaStore(spec media.Spec, dir string) (media.Store, error) {
+	if dir == "" {
+		return media.Synthesize(spec), nil
+	}
+	if st, err := media.OpenDir(dir); err == nil {
+		return st, nil
+	}
+	if err := media.WriteDir(dir, media.Synthesize(spec)); err != nil {
+		return nil, fmt.Errorf("materialize %s: %w", dir, err)
+	}
+	return media.OpenDir(dir)
 }
 
 // parsePeers parses "1=host:port,2=host:port" into an address book and a

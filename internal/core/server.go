@@ -1243,6 +1243,24 @@ func (r *responder) Send(body wire.Message) bool {
 	return true
 }
 
+// Stream implements Responder. Each body claims its sequence number under
+// the responder lock, so a demotion between bodies truncates the burst at
+// a clean prefix — the promoted primary's responder resumes numbering
+// after the handoff stamp with no seq reuse.
+func (r *responder) Stream(next func() (wire.Message, bool)) int {
+	n := 0
+	for {
+		body, ok := next()
+		if !ok {
+			return n
+		}
+		if !r.Send(body) {
+			return n
+		}
+		n++
+	}
+}
+
 // setTC records the span causing subsequent responses.
 func (r *responder) setTC(tc wire.TraceContext) {
 	r.mu.Lock()

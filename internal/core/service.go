@@ -25,6 +25,12 @@ type Responder interface {
 	// point-to-point. It returns false if this server is no longer the
 	// session's primary.
 	Send(body wire.Message) bool
+	// Stream transmits a multi-part reply: it pulls bodies from next and
+	// sends each in sequence until next reports exhaustion or this server
+	// loses primaryship, whichever comes first, and returns the number
+	// sent. Services use it for chunked responses so demotion mid-burst
+	// cleanly truncates the burst instead of racing individual Sends.
+	Stream(next func() (wire.Message, bool)) int
 	// Client returns the session's client.
 	Client() ids.ClientID
 	// Session returns the session ID.

@@ -30,8 +30,8 @@ func TestByID(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	rs := Experiments()
-	if len(rs) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(rs))
+	if len(rs) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {
@@ -370,6 +370,27 @@ func TestE15Live(t *testing.T) {
 		sentApprox := mustParseFloat(tb.Rows[i][1]) * 2.5
 		if lost := mustParseFloat(tb.Rows[i][6]); sentApprox > 0 && lost > sentApprox/50 {
 			t.Errorf("%s run lost %v of ≈%v requests (>2%%)\n%s", phase, lost, sentApprox, tb)
+		}
+	}
+}
+
+func TestE17Live(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcpnet streaming run in -short")
+	}
+	tb, err := E17Streaming(true)
+	if err != nil {
+		t.Fatalf("E17: %v\n%s", err, tb)
+	}
+	if len(tb.Rows) != 2 { // quick: (B=0, T=100ms) and (B=1, T=100ms)
+		t.Fatalf("rows = %d\n%s", len(tb.Rows), tb)
+	}
+	for _, row := range tb.Rows {
+		playbacks, _ := strconv.Atoi(row[2])
+		completed, _ := strconv.Atoi(row[3])
+		if playbacks == 0 || completed != playbacks {
+			t.Errorf("B=%s T=%s: %d/%d playbacks completed through the kill\n%s",
+				row[0], row[1], completed, playbacks, tb)
 		}
 	}
 }

@@ -104,6 +104,7 @@ func Experiments() []Runner {
 		{ID: "E14", Name: "capacity vs. server count and backups (live load)", Run: E14Capacity},
 		{ID: "E15", Name: "latency under primary failover mid-load (live load)", Run: E15FailoverLatency},
 		{ID: "E16", Name: "observability overhead and staleness tracking (live load)", Run: E16Observability},
+		{ID: "E17", Name: "streaming through primary failover vs. B and T (live, tcpnet)", Run: E17Streaming},
 	}
 }
 

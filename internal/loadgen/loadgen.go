@@ -111,6 +111,7 @@ func Run(cfg Config) (*Result, error) {
 	elapsed := time.Since(start)
 
 	var totals core.ClientStats
+	var clamps uint64
 	for _, d := range drivers {
 		st := d.c.Stats()
 		totals.Calls += st.Calls
@@ -120,9 +121,12 @@ func Run(cfg Config) (*Result, error) {
 		totals.Reresolves += st.Reresolves
 		totals.Responses += st.Responses
 		totals.SendErrors += st.SendErrors
+		clamps += d.smp.clamps
 		d.c.Close()
 	}
-	return buildResult(cfg, rec, totals, elapsed), nil
+	res := buildResult(cfg, rec, totals, elapsed)
+	res.Requests.SizeClamps = clamps
+	return res, nil
 }
 
 // pendingReq is one in-flight request awaiting its echo.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hafw/internal/ids"
+	"hafw/internal/media"
 )
 
 // newTestTarget brings up a small memnet cluster, torn down with the test.
@@ -248,5 +249,141 @@ func TestSessionSkew(t *testing.T) {
 	}
 	if total != 6 {
 		t.Errorf("skew counts %d sessions, want 6: %v", total, skew)
+	}
+}
+
+func TestSizeClampCountedAndCapped(t *testing.T) {
+	// Explicit cap: draws never exceed it, and truncations are counted
+	// rather than silently folded into the distribution.
+	s := newSampler(Workload{ReqBytes: 32 << 10, ReqBytesDist: DistExp,
+		ReqBytesMax: 48 << 10}.withDefaults(), 3, 0, 1)
+	for i := 0; i < 4000; i++ {
+		if b := s.reqBytes(); b > 48<<10 {
+			t.Fatalf("draw %d exceeds explicit cap", b)
+		}
+	}
+	if s.clamps == 0 {
+		t.Error("no clamps counted although the cap sits inside the exponential tail")
+	}
+
+	// Default cap (8x mean) is likewise counted.
+	d := newSampler(Workload{ReqBytes: 1 << 20, ReqBytesDist: DistExp}.withDefaults(), 3, 0, 1)
+	for i := 0; i < 4000; i++ {
+		if b := d.reqBytes(); b > 8<<20 {
+			t.Fatalf("draw %d exceeds default 8x cap", b)
+		}
+	}
+	if d.clamps == 0 {
+		t.Error("default-cap clamps not counted")
+	}
+}
+
+func TestWorkloadSizeValidation(t *testing.T) {
+	// Multi-MB means are in range...
+	if err := (Workload{ReqBytes: 4 << 20}.withDefaults()).validate(); err != nil {
+		t.Errorf("4 MiB mean rejected: %v", err)
+	}
+	// ...but sizes at the wire frame limit are not.
+	if err := (Workload{ReqBytes: 16 << 20}.withDefaults()).validate(); err == nil {
+		t.Error("frame-sized mean accepted")
+	}
+	if err := (Workload{ReqBytes: 1024, ReqBytesMax: 16 << 20}.withDefaults()).validate(); err == nil {
+		t.Error("frame-sized cap accepted")
+	}
+	if err := (Workload{ReqBytes: 4096, ReqBytesMax: 1024}.withDefaults()).validate(); err == nil {
+		t.Error("cap below mean accepted")
+	}
+}
+
+// streamTestSpec is a short synthetic title: 4s at 64 kB/s in 4 KiB
+// chunks — enough structure for windows and failover without slow tests.
+func streamTestSpec() media.Spec {
+	return media.Spec{
+		Duration:        4 * time.Second,
+		SegmentDuration: 500 * time.Millisecond,
+		BitrateBps:      64_000,
+		ChunkBytes:      4096,
+	}
+}
+
+func TestStreamWorkloadMemnet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream run in -short")
+	}
+	spec := streamTestSpec()
+	target := newTestTarget(t, MemnetConfig{
+		Servers: 3, Backups: 1, Units: 2,
+		Service: StreamService(spec),
+	})
+	res, err := RunStream(StreamConfig{
+		Target:      target,
+		Players:     3,
+		Playbacks:   1,
+		Window:      8,
+		Speed:       20,
+		PullTimeout: 100 * time.Millisecond,
+		MaxWall:     30 * time.Second,
+		ZipfS:       1.5,
+		// Kill one server mid-stream: sessions whose primary it hosted
+		// fail over; all playbacks must still reach EOF intact.
+		InjectAfter: 80 * time.Millisecond,
+		Inject:      func() { target.Crash(target.Servers()[0]) },
+	})
+	if err != nil {
+		t.Fatalf("RunStream: %v", err)
+	}
+	want := res.Totals.Playbacks
+	if want != 3 {
+		t.Fatalf("ran %d playbacks, want 3 (errors: %+v)", want, res.Errors)
+	}
+	if res.Totals.Completed != want {
+		t.Fatalf("%d/%d playbacks completed\n%s", res.Totals.Completed, want, res.Summary())
+	}
+	spec.Title = "x"
+	perTitle := media.BuildManifest(spec)
+	if res.Totals.Chunks != uint64(want*perTitle.TotalChunks()) {
+		t.Errorf("consumed %d chunks, want %d (gap or loss)\n%s",
+			res.Totals.Chunks, want*perTitle.TotalChunks(), res.Summary())
+	}
+	if res.Totals.Bytes != uint64(want)*uint64(perTitle.TotalBytes()) {
+		t.Errorf("consumed %d bytes, want %d", res.Totals.Bytes, uint64(want)*uint64(perTitle.TotalBytes()))
+	}
+	if res.Totals.CRCErrors != 0 {
+		t.Errorf("%d CRC errors", res.Totals.CRCErrors)
+	}
+	if res.Totals.Pulls == 0 || res.Errors.Total != 0 {
+		t.Errorf("pulls=%d errors=%+v", res.Totals.Pulls, res.Errors)
+	}
+}
+
+func TestStreamResultJSONRoundTrip(t *testing.T) {
+	spec := streamTestSpec()
+	target := newTestTarget(t, MemnetConfig{
+		Servers: 2, Units: 1, Service: StreamService(spec),
+	})
+	res, err := RunStream(StreamConfig{
+		Target: target, Players: 1, Speed: 50,
+		PullTimeout: 100 * time.Millisecond, MaxWall: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("RunStream: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_stream.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back StreamResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("BENCH_stream.json does not parse: %v", err)
+	}
+	if back.Schema != StreamSchema {
+		t.Errorf("schema = %q, want %q", back.Schema, StreamSchema)
+	}
+	if back.Totals.Completed != res.Totals.Completed || back.Stall.Count != res.Stall.Count {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back.Totals, res.Totals)
 	}
 }

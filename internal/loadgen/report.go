@@ -29,6 +29,9 @@ type RequestCounts struct {
 	// Unanswered is how many requests never saw a response within the
 	// drain grace (hard errors).
 	Unanswered uint64 `json:"unanswered"`
+	// SizeClamps counts exponential request-size draws truncated at the
+	// configured cap (Workload.ReqBytesMax, or its 8x-mean default).
+	SizeClamps uint64 `json:"size_clamps,omitempty"`
 }
 
 // ErrorCounts breaks the run's hard errors down.

@@ -61,6 +61,12 @@ type MemnetConfig struct {
 	// on a loopback port (see OpsAddrs). Off by default so capacity runs
 	// measure the bare protocol; E16 uses on/off pairs to price it.
 	Obs bool
+	// Service builds the service instance each server runs for a unit.
+	// Every server must produce equivalent state machines for the same
+	// unit (the replicas apply the same total order). Nil means the echo
+	// measurement service; the streaming workload installs vod chunk
+	// streams keyed by title.
+	Service func(unit ids.UnitName) core.Service
 	// Net tunes the in-memory network (latency, jitter, loss).
 	Net memnet.Config
 }
@@ -94,6 +100,9 @@ func NewMemnetTarget(cfg MemnetConfig) (*MemnetTarget, error) {
 	if cfg.Units == 0 {
 		cfg.Units = 4
 	}
+	if cfg.Service == nil {
+		cfg.Service = func(ids.UnitName) core.Service { return NewEchoService() }
+	}
 	t := &MemnetTarget{
 		cfg:      cfg,
 		net:      memnet.New(cfg.Net),
@@ -120,7 +129,7 @@ func NewMemnetTarget(cfg MemnetConfig) (*MemnetTarget, error) {
 		for _, u := range t.units {
 			units = append(units, core.UnitConfig{
 				Unit:              u,
-				Service:           NewEchoService(),
+				Service:           cfg.Service(u),
 				Backups:           cfg.Backups,
 				PropagationPeriod: cfg.Propagation,
 				IdleTimeout:       30 * time.Second,

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"hafw/internal/wire"
 )
 
 // Arrival selects the request arrival process.
@@ -46,11 +48,17 @@ type Workload struct {
 	// SessionLenDist distributes per-session lengths around SessionLen.
 	// Empty means fixed.
 	SessionLenDist Dist `json:"session_len_dist,omitempty"`
-	// ReqBytes is the mean request padding size. Zero means 64.
+	// ReqBytes is the mean request padding size, from tens of bytes up to
+	// multi-MB chunk-scale payloads (bounded by the wire frame limit).
+	// Zero means 64.
 	ReqBytes int `json:"req_bytes"`
 	// ReqBytesDist distributes request sizes around ReqBytes. Empty means
 	// fixed.
 	ReqBytesDist Dist `json:"req_bytes_dist,omitempty"`
+	// ReqBytesMax caps exponential size draws. Zero means 8x ReqBytes.
+	// Draws hitting the cap are counted and reported (Requests.SizeClamps)
+	// rather than silently folded into the distribution.
+	ReqBytesMax int `json:"req_bytes_max,omitempty"`
 	// ZipfS is the Zipf skew exponent for unit popularity across the
 	// target's content units: s > 1 concentrates sessions on hot units
 	// (hot-spotting); ≤ 1 selects uniformly. Zero means uniform.
@@ -104,8 +112,18 @@ func (w Workload) validate() error {
 			return fmt.Errorf("loadgen: unknown distribution %q", d)
 		}
 	}
-	if w.RatePerClient < 0 || w.SessionLen < 0 || w.ReqBytes < 0 {
+	if w.RatePerClient < 0 || w.SessionLen < 0 || w.ReqBytes < 0 || w.ReqBytesMax < 0 {
 		return fmt.Errorf("loadgen: negative workload parameter")
+	}
+	// Request padding travels inside one wire frame alongside the request
+	// envelope; leave headroom for the framing and headers.
+	const maxReqBytes = wire.MaxFrame - (64 << 10)
+	if w.ReqBytes > maxReqBytes || w.ReqBytesMax > maxReqBytes {
+		return fmt.Errorf("loadgen: request size %d exceeds wire frame budget %d",
+			max(w.ReqBytes, w.ReqBytesMax), maxReqBytes)
+	}
+	if w.ReqBytesMax > 0 && w.ReqBytesMax < w.ReqBytes {
+		return fmt.Errorf("loadgen: ReqBytesMax %d below mean ReqBytes %d", w.ReqBytesMax, w.ReqBytes)
 	}
 	return nil
 }
@@ -117,6 +135,11 @@ type sampler struct {
 	zipf *rand.Zipf
 	w    Workload
 	n    int // unit count
+
+	// clamps counts exponential size draws truncated at the cap. The
+	// sampler runs on a single driver goroutine; Run reads the total after
+	// the drivers join.
+	clamps uint64
 }
 
 func newSampler(w Workload, seed int64, driver, units int) *sampler {
@@ -142,15 +165,15 @@ func (s *sampler) unit() int {
 
 // sessionLen draws one session's request count (≥ 1).
 func (s *sampler) sessionLen() int {
-	return s.sampleInt(s.w.SessionLen, s.w.SessionLenDist)
+	return s.sampleInt(s.w.SessionLen, s.w.SessionLenDist, 0)
 }
 
 // reqBytes draws one request's padding size (≥ 1).
 func (s *sampler) reqBytes() int {
-	return s.sampleInt(s.w.ReqBytes, s.w.ReqBytesDist)
+	return s.sampleInt(s.w.ReqBytes, s.w.ReqBytesDist, s.w.ReqBytesMax)
 }
 
-func (s *sampler) sampleInt(mean int, d Dist) int {
+func (s *sampler) sampleInt(mean int, d Dist, max int) int {
 	if mean <= 0 {
 		return 1
 	}
@@ -159,10 +182,16 @@ func (s *sampler) sampleInt(mean int, d Dist) int {
 		if v < 1 {
 			v = 1
 		}
-		// Clamp the exponential's long tail at 8× the mean so one draw
-		// cannot dominate a short run.
-		if v > 8*mean {
-			v = 8 * mean
+		// Clamp the exponential's long tail so one draw cannot dominate a
+		// short run — at the configured cap, or 8× the mean by default —
+		// and count every truncation so the distortion is visible in the
+		// report instead of silently folded into the distribution.
+		if max <= 0 {
+			max = 8 * mean
+		}
+		if v > max {
+			v = max
+			s.clamps++
 		}
 		return v
 	}

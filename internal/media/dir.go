@@ -1,0 +1,166 @@
+package media
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Directory layout: manifest.json plus one seg-NNNNN.hms file per segment.
+// A segment file is the 4-byte magic followed by one record per chunk:
+//
+//	[4B magic "HMS1"] ([4B BE payload len][4B BE CRC32-IEEE][payload])*
+//
+// The CRC is stored redundantly with the manifest-derived sizes so a
+// flipped bit in either the framing or the payload is caught on read, not
+// replayed to a client.
+const (
+	segMagic     = "HMS1"
+	manifestFile = "manifest.json"
+)
+
+// ErrCorrupt is wrapped by DirStore read errors when a segment file fails
+// framing or CRC validation.
+var ErrCorrupt = errors.New("media: corrupt segment file")
+
+func segPath(dir string, seg int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%05d.hms", seg))
+}
+
+// WriteDir persists every chunk of src under dir, creating it if needed.
+// Existing segment files are overwritten.
+func WriteDir(dir string, src Store) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("media: writedir: %w", err)
+	}
+	man := src.Manifest()
+	mb, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("media: writedir: encode manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), append(mb, '\n'), 0o644); err != nil {
+		return fmt.Errorf("media: writedir: %w", err)
+	}
+	var hdr [8]byte
+	for seg := range man.Segments {
+		f, err := os.Create(segPath(dir, seg))
+		if err != nil {
+			return fmt.Errorf("media: writedir: %w", err)
+		}
+		if _, err := f.Write([]byte(segMagic)); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("media: writedir: %w", err)
+		}
+		for i := 0; i < man.Segments[seg].Chunks; i++ {
+			c, err := src.Chunk(Pos{Seg: seg, Chunk: i})
+			if err != nil {
+				_ = f.Close()
+				return fmt.Errorf("media: writedir: %w", err)
+			}
+			binary.BigEndian.PutUint32(hdr[:4], uint32(len(c.Data)))
+			binary.BigEndian.PutUint32(hdr[4:], c.CRC)
+			if _, err := f.Write(hdr[:]); err == nil {
+				_, err = f.Write(c.Data)
+			}
+			if err != nil {
+				_ = f.Close()
+				return fmt.Errorf("media: writedir: %w", err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("media: writedir: %w", err)
+		}
+	}
+	return nil
+}
+
+// DirStore serves chunks from a directory written by WriteDir. Segment
+// files are parsed lazily and the most recently used segment is cached,
+// which matches the sequential access pattern of playback.
+type DirStore struct {
+	dir string
+	man Manifest
+
+	mu        sync.Mutex
+	cachedSeg int
+	cached    []Chunk
+}
+
+// OpenDir opens a directory written by WriteDir. The manifest is read
+// eagerly; segment payloads are validated on first access.
+func OpenDir(dir string) (*DirStore, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("media: opendir: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(mb, &man); err != nil {
+		return nil, fmt.Errorf("media: opendir: parse manifest: %w", err)
+	}
+	if man.ChunkBytes <= 0 || man.BitrateBps <= 0 || len(man.Segments) == 0 {
+		return nil, fmt.Errorf("media: opendir: manifest invalid: %+v", man)
+	}
+	return &DirStore{dir: dir, man: man, cachedSeg: -1}, nil
+}
+
+// Manifest implements Store.
+func (d *DirStore) Manifest() Manifest { return d.man }
+
+// Chunk implements Store, verifying the stored CRC of every record in the
+// segment on load.
+func (d *DirStore) Chunk(p Pos) (Chunk, error) {
+	if !d.man.Valid(p) {
+		return Chunk{}, fmt.Errorf("%w: %s of %q", ErrNotFound, p, d.man.Title)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cachedSeg != p.Seg {
+		chunks, err := d.loadSegment(p.Seg)
+		if err != nil {
+			return Chunk{}, err
+		}
+		d.cachedSeg, d.cached = p.Seg, chunks
+	}
+	return d.cached[p.Chunk], nil
+}
+
+// loadSegment parses and validates one segment file.
+func (d *DirStore) loadSegment(seg int) ([]Chunk, error) {
+	path := segPath(d.dir, seg)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("media: %w", err)
+	}
+	if len(raw) < len(segMagic) || string(raw[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
+	}
+	raw = raw[len(segMagic):]
+	want := d.man.Segments[seg].Chunks
+	chunks := make([]Chunk, 0, want)
+	for i := 0; len(raw) > 0; i++ {
+		if len(raw) < 8 {
+			return nil, fmt.Errorf("%w: %s: truncated record header", ErrCorrupt, path)
+		}
+		n := binary.BigEndian.Uint32(raw[:4])
+		crc := binary.BigEndian.Uint32(raw[4:8])
+		raw = raw[8:]
+		if int(n) > d.man.ChunkBytes || int(n) > len(raw) {
+			return nil, fmt.Errorf("%w: %s: record %d claims %d bytes", ErrCorrupt, path, i, n)
+		}
+		data := raw[:n:n]
+		raw = raw[n:]
+		if crc32.ChecksumIEEE(data) != crc {
+			return nil, fmt.Errorf("%w: %s: record %d CRC mismatch", ErrCorrupt, path, i)
+		}
+		chunks = append(chunks, Chunk{Seg: seg, Index: i, Data: data, CRC: crc})
+	}
+	if len(chunks) != want {
+		return nil, fmt.Errorf("%w: %s: %d records, manifest expects %d", ErrCorrupt, path, len(chunks), want)
+	}
+	return chunks, nil
+}

@@ -1,0 +1,150 @@
+package media
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+)
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	synth := Synthesize(testSpec())
+	if err := WriteDir(dir, synth); err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	man := d.Manifest()
+	if man.TotalBytes() != synth.Manifest().TotalBytes() || len(man.Segments) != len(synth.Manifest().Segments) {
+		t.Fatalf("manifest mismatch: %+v", man)
+	}
+	// Read out of order to exercise the segment cache swap.
+	for _, p := range []Pos{{Seg: 4, Chunk: 0}, {Seg: 0, Chunk: 12}, {Seg: 0, Chunk: 0}, {Seg: 4, Chunk: 12}} {
+		want, _ := synth.Chunk(p)
+		got, err := d.Chunk(p)
+		if err != nil {
+			t.Fatalf("Chunk(%s): %v", p, err)
+		}
+		if !bytes.Equal(got.Data, want.Data) || got.CRC != want.CRC {
+			t.Fatalf("chunk %s differs from source", p)
+		}
+	}
+	if _, err := d.Chunk(Pos{Seg: 9}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("out-of-range err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDirStoreDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDir(dir, Synthesize(testSpec())); err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+
+	// Flip one payload byte deep inside segment 2.
+	path := segPath(dir, 2)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	if _, err := d.Chunk(Pos{Seg: 2}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt payload err = %v, want ErrCorrupt", err)
+	}
+	// Other segments stay readable.
+	if _, err := d.Chunk(Pos{Seg: 1}); err != nil {
+		t.Errorf("intact segment unreadable: %v", err)
+	}
+}
+
+func TestDirStoreDetectsTruncation(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDir(dir, Synthesize(testSpec())); err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	path := segPath(dir, 0)
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:len(raw)-100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	if _, err := d.Chunk(Pos{}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated segment err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDirStoreBadMagicAndMissingManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDir(dir, Synthesize(testSpec())); err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	if err := os.WriteFile(segPath(dir, 1), []byte("XXXXjunk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	if _, err := d.Chunk(Pos{Seg: 1}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic err = %v, want ErrCorrupt", err)
+	}
+
+	if _, err := OpenDir(t.TempDir()); err == nil {
+		t.Error("OpenDir on empty dir should fail")
+	}
+}
+
+func BenchmarkSynthChunk(b *testing.B) {
+	s := Synthesize(Spec{Title: "bench", ChunkBytes: 64 << 10})
+	man := s.Manifest()
+	b.SetBytes(int64(man.ChunkBytes))
+	p := Pos{}
+	for i := 0; i < b.N; i++ {
+		c, err := s.Chunk(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = c
+		p = man.Next(p)
+		if !man.Valid(p) {
+			p = Pos{}
+		}
+	}
+}
+
+func BenchmarkDirChunk(b *testing.B) {
+	dir := b.TempDir()
+	if err := WriteDir(dir, Synthesize(Spec{Title: "bench", Duration: 4e9, ChunkBytes: 64 << 10})); err != nil {
+		b.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	man := d.Manifest()
+	b.SetBytes(int64(man.ChunkBytes))
+	b.ResetTimer()
+	p := Pos{}
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Chunk(p); err != nil {
+			b.Fatal(err)
+		}
+		p = man.Next(p)
+		if !man.Valid(p) {
+			p = Pos{}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package media implements the chunked segment store behind the streaming
+// VoD service: titles are cut into fixed-duration segments, segments into
+// bounded-size chunks, and a Manifest (the playlist) describes the layout
+// so a client can plan windowed pulls and detect loss or duplication by
+// position alone.
+//
+// The package is deliberately framework-agnostic — it knows nothing about
+// sessions, groups, or transports. The vod service maps a title onto a
+// content unit and serves Chunks through the session plane; package media
+// only answers "what bytes live at position p".
+//
+// Three backends share the Store interface: a synthetic generator
+// (deterministic content for tests and benchmarks, no storage), an
+// in-memory store, and a directory-backed store whose segment files frame
+// every chunk record with a CRC32 so corruption is detected at read time.
+package media
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// Defaults applied by Spec.withDefaults.
+const (
+	DefaultDuration        = 60 * time.Second
+	DefaultSegmentDuration = 2 * time.Second
+	DefaultBitrateBps      = 250_000 // payload bytes per second
+	DefaultChunkBytes      = 64 << 10
+)
+
+// ErrNotFound is returned by Store.Chunk for positions outside the title.
+var ErrNotFound = errors.New("media: chunk not found")
+
+// Spec parameterizes a synthetic title.
+type Spec struct {
+	// Title names the content; it doubles as the content-unit name when
+	// the vod service serves the title.
+	Title string
+	// Duration is the total playback length. Zero means DefaultDuration.
+	Duration time.Duration
+	// SegmentDuration is the fixed per-segment length. Zero means
+	// DefaultSegmentDuration.
+	SegmentDuration time.Duration
+	// BitrateBps is the payload rate in bytes per second. Zero means
+	// DefaultBitrateBps.
+	BitrateBps int
+	// ChunkBytes bounds each chunk's payload. Zero means DefaultChunkBytes.
+	ChunkBytes int
+	// Seed perturbs the generated content. Zero derives a seed from Title
+	// so distinct titles carry distinct bytes.
+	Seed int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Duration <= 0 {
+		s.Duration = DefaultDuration
+	}
+	if s.SegmentDuration <= 0 {
+		s.SegmentDuration = DefaultSegmentDuration
+	}
+	if s.BitrateBps <= 0 {
+		s.BitrateBps = DefaultBitrateBps
+	}
+	if s.ChunkBytes <= 0 {
+		s.ChunkBytes = DefaultChunkBytes
+	}
+	if s.Seed == 0 {
+		var h int64 = 1469598103934665603
+		for _, c := range []byte(s.Title) {
+			h = (h ^ int64(c)) * 1099511628211
+		}
+		s.Seed = h | 1
+	}
+	return s
+}
+
+// SegmentInfo describes one segment's layout inside a Manifest.
+type SegmentInfo struct {
+	// Chunks is the number of chunk records in the segment.
+	Chunks int
+	// Bytes is the total payload size of the segment.
+	Bytes int64
+}
+
+// Manifest is the playlist for one title: enough layout information for a
+// client to iterate every chunk position, size its buffer, and pace
+// playback, without having seen any media bytes. It travels inside wire
+// messages, so it carries exported fields only.
+type Manifest struct {
+	// Title names the content.
+	Title string
+	// BitrateBps is the nominal payload rate in bytes per second; the
+	// player's consumption clock runs at this rate.
+	BitrateBps int
+	// ChunkBytes is the maximum chunk payload size.
+	ChunkBytes int
+	// SegmentMillis is the nominal fixed segment duration in milliseconds.
+	SegmentMillis int64
+	// Segments lists every segment in playback order.
+	Segments []SegmentInfo
+}
+
+// Pos addresses one chunk: segment index and chunk index within the
+// segment. Positions order lexicographically; the position one past the
+// last chunk (Manifest.End) marks end-of-title.
+type Pos struct {
+	Seg   int
+	Chunk int
+}
+
+// Before reports whether p orders strictly before q.
+func (p Pos) Before(q Pos) bool {
+	return p.Seg < q.Seg || (p.Seg == q.Seg && p.Chunk < q.Chunk)
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d/%d", p.Seg, p.Chunk) }
+
+// BuildManifest computes the segment/chunk layout implied by a spec.
+func BuildManifest(spec Spec) Manifest {
+	spec = spec.withDefaults()
+	totalBytes := int64(spec.BitrateBps) * spec.Duration.Milliseconds() / 1000
+	segBytes := int64(spec.BitrateBps) * spec.SegmentDuration.Milliseconds() / 1000
+	if segBytes <= 0 {
+		segBytes = int64(spec.ChunkBytes)
+	}
+	if totalBytes < 1 {
+		totalBytes = 1
+	}
+	m := Manifest{
+		Title:         spec.Title,
+		BitrateBps:    spec.BitrateBps,
+		ChunkBytes:    spec.ChunkBytes,
+		SegmentMillis: spec.SegmentDuration.Milliseconds(),
+	}
+	for off := int64(0); off < totalBytes; off += segBytes {
+		b := segBytes
+		if rem := totalBytes - off; rem < b {
+			b = rem
+		}
+		chunks := int((b + int64(spec.ChunkBytes) - 1) / int64(spec.ChunkBytes))
+		m.Segments = append(m.Segments, SegmentInfo{Chunks: chunks, Bytes: b})
+	}
+	return m
+}
+
+// Valid reports whether p addresses a chunk that exists in the manifest.
+func (m Manifest) Valid(p Pos) bool {
+	return p.Seg >= 0 && p.Seg < len(m.Segments) &&
+		p.Chunk >= 0 && p.Chunk < m.Segments[p.Seg].Chunks
+}
+
+// End returns the position one past the last chunk.
+func (m Manifest) End() Pos { return Pos{Seg: len(m.Segments)} }
+
+// Next returns the position following p in playback order, stepping across
+// segment boundaries. Advancing from or past End stays at End.
+func (m Manifest) Next(p Pos) Pos {
+	if !m.Valid(p) {
+		return m.End()
+	}
+	p.Chunk++
+	if p.Chunk >= m.Segments[p.Seg].Chunks {
+		p.Seg++
+		p.Chunk = 0
+	}
+	return p
+}
+
+// Advance returns the position n chunks after p, clamped to End.
+func (m Manifest) Advance(p Pos, n int) Pos {
+	return m.At(m.Index(p) + n)
+}
+
+// TotalChunks is the number of chunks in the title.
+func (m Manifest) TotalChunks() int {
+	n := 0
+	for _, s := range m.Segments {
+		n += s.Chunks
+	}
+	return n
+}
+
+// TotalBytes is the total payload size of the title.
+func (m Manifest) TotalBytes() int64 {
+	var n int64
+	for _, s := range m.Segments {
+		n += s.Bytes
+	}
+	return n
+}
+
+// Duration is the nominal playback length implied by bytes and bitrate.
+func (m Manifest) Duration() time.Duration {
+	if m.BitrateBps <= 0 {
+		return 0
+	}
+	return time.Duration(m.TotalBytes()) * time.Second / time.Duration(m.BitrateBps)
+}
+
+// Index flattens p into a global chunk index in [0, TotalChunks]; End (and
+// anything past it) maps to TotalChunks.
+func (m Manifest) Index(p Pos) int {
+	if p.Seg >= len(m.Segments) {
+		return m.TotalChunks()
+	}
+	n := 0
+	for i := 0; i < p.Seg; i++ {
+		n += m.Segments[i].Chunks
+	}
+	c := p.Chunk
+	if c > m.Segments[p.Seg].Chunks {
+		c = m.Segments[p.Seg].Chunks
+	}
+	return n + c
+}
+
+// At inverts Index: the position of the i-th chunk, clamped to [0, End].
+func (m Manifest) At(i int) Pos {
+	if i < 0 {
+		return Pos{}
+	}
+	for seg, s := range m.Segments {
+		if i < s.Chunks {
+			return Pos{Seg: seg, Chunk: i}
+		}
+		i -= s.Chunks
+	}
+	return m.End()
+}
+
+// chunkSize returns the payload size of the chunk at p.
+func (m Manifest) chunkSize(p Pos) int {
+	s := m.Segments[p.Seg]
+	if p.Chunk == s.Chunks-1 {
+		if last := int(s.Bytes - int64(s.Chunks-1)*int64(m.ChunkBytes)); last > 0 {
+			return last
+		}
+	}
+	return m.ChunkBytes
+}
+
+// Chunk is one framed unit of media payload. CRC covers Data with the
+// IEEE CRC32 polynomial; every consumer (directory store reads, player
+// receives) re-verifies it so corruption anywhere on the path is caught.
+type Chunk struct {
+	// Seg and Index position the chunk within its title.
+	Seg   int
+	Index int
+	// Data is the payload.
+	Data []byte
+	// CRC is crc32.ChecksumIEEE(Data), sealed at creation.
+	CRC uint32
+}
+
+// Pos returns the chunk's position.
+func (c *Chunk) Pos() Pos { return Pos{Seg: c.Seg, Chunk: c.Index} }
+
+// Seal builds a chunk over data, computing its CRC.
+func Seal(p Pos, data []byte) Chunk {
+	return Chunk{Seg: p.Seg, Index: p.Chunk, Data: data, CRC: crc32.ChecksumIEEE(data)}
+}
+
+// Verify reports whether the payload still matches the sealed CRC.
+func (c *Chunk) Verify() bool { return crc32.ChecksumIEEE(c.Data) == c.CRC }

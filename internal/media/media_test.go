@@ -1,0 +1,160 @@
+package media
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Title:           "clip",
+		Duration:        10 * time.Second,
+		SegmentDuration: 2 * time.Second,
+		BitrateBps:      100_000,
+		ChunkBytes:      16 << 10,
+	}
+}
+
+func TestManifestLayout(t *testing.T) {
+	man := BuildManifest(testSpec())
+	if len(man.Segments) != 5 {
+		t.Fatalf("segments = %d, want 5", len(man.Segments))
+	}
+	if got := man.TotalBytes(); got != 1_000_000 {
+		t.Errorf("TotalBytes = %d, want 1000000", got)
+	}
+	// 200 kB per segment at 16 KiB chunks → ceil(200000/16384) = 13.
+	for i, s := range man.Segments {
+		if s.Chunks != 13 || s.Bytes != 200_000 {
+			t.Errorf("segment %d = %+v, want 13 chunks / 200000 bytes", i, s)
+		}
+	}
+	if d := man.Duration(); d != 10*time.Second {
+		t.Errorf("Duration = %v, want 10s", d)
+	}
+}
+
+func TestManifestPositionIteration(t *testing.T) {
+	man := BuildManifest(testSpec())
+	total := man.TotalChunks()
+	i, p := 0, Pos{}
+	for ; man.Valid(p); p = man.Next(p) {
+		if got := man.Index(p); got != i {
+			t.Fatalf("Index(%s) = %d, want %d", p, got, i)
+		}
+		if got := man.At(i); got != p {
+			t.Fatalf("At(%d) = %s, want %s", i, got, p)
+		}
+		i++
+	}
+	if i != total {
+		t.Fatalf("iterated %d chunks, TotalChunks = %d", i, total)
+	}
+	if p != man.End() {
+		t.Errorf("iteration ended at %s, want End %s", p, man.End())
+	}
+	if man.Next(man.End()) != man.End() {
+		t.Error("Next(End) must stay at End")
+	}
+	if got := man.Advance(Pos{}, total+5); got != man.End() {
+		t.Errorf("Advance past EOF = %s, want End", got)
+	}
+	if got := man.Advance(Pos{}, 14); got != (Pos{Seg: 1, Chunk: 1}) {
+		t.Errorf("Advance(0, 14) = %s, want 1/1", got)
+	}
+	if !(Pos{Seg: 1, Chunk: 12}).Before(Pos{Seg: 2}) || (Pos{Seg: 2}).Before(Pos{Seg: 2}) {
+		t.Error("Pos.Before ordering wrong")
+	}
+}
+
+func TestSynthDeterministicAndVerified(t *testing.T) {
+	a, b := Synthesize(testSpec()), Synthesize(testSpec())
+	man := a.Manifest()
+	var totalBytes int64
+	for p := (Pos{}); man.Valid(p); p = man.Next(p) {
+		ca, err := a.Chunk(p)
+		if err != nil {
+			t.Fatalf("Chunk(%s): %v", p, err)
+		}
+		cb, _ := b.Chunk(p)
+		if !bytes.Equal(ca.Data, cb.Data) || ca.CRC != cb.CRC {
+			t.Fatalf("chunk %s differs between identical specs", p)
+		}
+		if !ca.Verify() {
+			t.Fatalf("chunk %s fails CRC self-check", p)
+		}
+		totalBytes += int64(len(ca.Data))
+	}
+	if totalBytes != man.TotalBytes() {
+		t.Errorf("chunk payloads sum to %d, manifest says %d", totalBytes, man.TotalBytes())
+	}
+
+	// Distinct titles must carry distinct content (seed derived from title).
+	other := Synthesize(Spec{Title: "other", Duration: 10 * time.Second,
+		SegmentDuration: 2 * time.Second, BitrateBps: 100_000, ChunkBytes: 16 << 10})
+	c1, _ := a.Chunk(Pos{})
+	c2, _ := other.Chunk(Pos{})
+	if bytes.Equal(c1.Data, c2.Data) {
+		t.Error("different titles generated identical first chunks")
+	}
+
+	if _, err := a.Chunk(man.End()); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Chunk(End) err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestSealVerifyDetectsFlip(t *testing.T) {
+	c := Seal(Pos{Seg: 1, Chunk: 2}, []byte("payload bytes"))
+	if !c.Verify() {
+		t.Fatal("fresh chunk must verify")
+	}
+	c.Data[0] ^= 0x01
+	if c.Verify() {
+		t.Error("flipped payload must fail Verify")
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	synth := Synthesize(testSpec())
+	mem, err := Materialize(synth)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	man := mem.Manifest()
+	for p := (Pos{}); man.Valid(p); p = man.Next(p) {
+		want, _ := synth.Chunk(p)
+		got, err := mem.Chunk(p)
+		if err != nil {
+			t.Fatalf("mem.Chunk(%s): %v", p, err)
+		}
+		if !bytes.Equal(got.Data, want.Data) || got.CRC != want.CRC {
+			t.Fatalf("materialized chunk %s differs", p)
+		}
+	}
+	if _, err := mem.Chunk(Pos{Seg: 99}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("out-of-range err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestShortTitleLastChunk(t *testing.T) {
+	// 1.5 s at 100 kB/s with 2 s segments: one short segment of 150000
+	// bytes; last chunk is 150000 - 9*16384 = 2544 bytes.
+	spec := testSpec()
+	spec.Duration = 1500 * time.Millisecond
+	man := BuildManifest(spec)
+	if len(man.Segments) != 1 || man.Segments[0].Bytes != 150_000 {
+		t.Fatalf("layout = %+v", man.Segments)
+	}
+	s := Synthesize(spec)
+	last := Pos{Seg: 0, Chunk: man.Segments[0].Chunks - 1}
+	c, err := s.Chunk(last)
+	if err != nil {
+		t.Fatalf("Chunk(last): %v", err)
+	}
+	want := int(man.Segments[0].Bytes) - (man.Segments[0].Chunks-1)*spec.ChunkBytes
+	if len(c.Data) != want {
+		t.Errorf("last chunk = %d bytes, want %d", len(c.Data), want)
+	}
+}

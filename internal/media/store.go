@@ -1,0 +1,94 @@
+package media
+
+import "fmt"
+
+// Store is a read-only chunk source for one title. Implementations must be
+// safe for concurrent readers: the vod service reads from session sender
+// goroutines while tests read directly.
+type Store interface {
+	// Manifest returns the title's layout. The caller must not mutate it.
+	Manifest() Manifest
+	// Chunk returns the sealed chunk at p, or ErrNotFound for positions
+	// outside the title. The returned payload must not alias mutable
+	// backing storage.
+	Chunk(p Pos) (Chunk, error)
+}
+
+// SynthStore generates deterministic content on demand: the payload at a
+// position is a pure function of (seed, position), so two replicas — or a
+// test and its expectation — materialize identical bytes without sharing
+// state, and a multi-GB title costs no memory.
+type SynthStore struct {
+	man  Manifest
+	seed int64
+}
+
+// Synthesize builds a generator-backed store for the spec.
+func Synthesize(spec Spec) *SynthStore {
+	spec = spec.withDefaults()
+	return &SynthStore{man: BuildManifest(spec), seed: spec.Seed}
+}
+
+// Manifest implements Store.
+func (s *SynthStore) Manifest() Manifest { return s.man }
+
+// Chunk implements Store, generating the payload deterministically.
+func (s *SynthStore) Chunk(p Pos) (Chunk, error) {
+	if !s.man.Valid(p) {
+		return Chunk{}, fmt.Errorf("%w: %s of %q", ErrNotFound, p, s.man.Title)
+	}
+	data := make([]byte, s.man.chunkSize(p))
+	fillDeterministic(data, s.seed, p)
+	return Seal(p, data), nil
+}
+
+// fillDeterministic fills buf with bytes from an xorshift64* stream seeded
+// by (seed, p). Eight bytes are produced per step, so generation is cheap
+// enough for benchmark hot paths.
+func fillDeterministic(buf []byte, seed int64, p Pos) {
+	x := uint64(seed) ^ (uint64(p.Seg)+1)*0x9e3779b97f4a7c15 ^ (uint64(p.Chunk)+1)*0xbf58476d1ce4e5b9
+	if x == 0 {
+		x = 0x2545f4914f6cdd1d
+	}
+	for i := 0; i < len(buf); i += 8 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		v := x * 0x2545f4914f6cdd1d
+		for j := 0; j < 8 && i+j < len(buf); j++ {
+			buf[i+j] = byte(v >> (8 * j))
+		}
+	}
+}
+
+// MemStore holds every chunk of a title in memory.
+type MemStore struct {
+	man    Manifest
+	chunks map[Pos]Chunk
+}
+
+// Materialize copies every chunk of src into a new MemStore.
+func Materialize(src Store) (*MemStore, error) {
+	man := src.Manifest()
+	m := &MemStore{man: man, chunks: make(map[Pos]Chunk, man.TotalChunks())}
+	for p := (Pos{}); man.Valid(p); p = man.Next(p) {
+		c, err := src.Chunk(p)
+		if err != nil {
+			return nil, fmt.Errorf("media: materialize %s: %w", p, err)
+		}
+		m.chunks[p] = c
+	}
+	return m, nil
+}
+
+// Manifest implements Store.
+func (m *MemStore) Manifest() Manifest { return m.man }
+
+// Chunk implements Store.
+func (m *MemStore) Chunk(p Pos) (Chunk, error) {
+	c, ok := m.chunks[p]
+	if !ok {
+		return Chunk{}, fmt.Errorf("%w: %s of %q", ErrNotFound, p, m.man.Title)
+	}
+	return c, nil
+}

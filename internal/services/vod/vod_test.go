@@ -30,6 +30,17 @@ func (r *fakeResponder) Send(body wire.Message) bool {
 	}
 	return true
 }
+func (r *fakeResponder) Stream(next func() (wire.Message, bool)) int {
+	n := 0
+	for {
+		m, ok := next()
+		if !ok || !r.Send(m) {
+			return n
+		}
+		n++
+	}
+}
+
 func (r *fakeResponder) Client() ids.ClientID   { return 1 }
 func (r *fakeResponder) Session() ids.SessionID { return 1 }
 func (r *fakeResponder) deactivate() {

@@ -38,6 +38,17 @@ type Config struct {
 	// full further messages to that endpoint are dropped (and counted), as
 	// a congested host would. Zero selects a generous default.
 	QueueLen int
+	// QueueBytes is the per-endpoint delivery queue byte budget. Chunk
+	// traffic makes envelope counts a poor congestion proxy — a few
+	// megabyte frames occupy what thousands of control messages would — so
+	// queues are also bounded by encoded bytes. Messages past the budget
+	// are dropped and counted in DroppedQueue. Zero selects 64 MiB.
+	QueueBytes int
+	// MaxFrame caps the encoded size a single Send will accept, for parity
+	// with tcpnet's frame limit: oversize messages fail with an error
+	// wrapping wire.ErrFrameTooLarge instead of silently working in-memory
+	// and failing on a real network. Zero selects wire.MaxFrame.
+	MaxFrame int
 }
 
 // Stats are cumulative network-wide counters. They back the load
@@ -92,6 +103,12 @@ func New(cfg Config) *Network {
 	if cfg.QueueLen == 0 {
 		cfg.QueueLen = 4096
 	}
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = 64 << 20
+	}
+	if cfg.MaxFrame <= 0 || cfg.MaxFrame > wire.MaxFrame {
+		cfg.MaxFrame = wire.MaxFrame
+	}
 	return &Network{
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
@@ -115,7 +132,7 @@ func (n *Network) Attach(id ids.EndpointID) (*Endpoint, error) {
 	ep := &Endpoint{
 		net:   n,
 		id:    id,
-		queue: make(chan wire.Envelope, n.cfg.QueueLen),
+		queue: make(chan Envelope, n.cfg.QueueLen),
 		done:  make(chan struct{}),
 	}
 	n.endpoints[id] = ep
@@ -243,7 +260,7 @@ func (n *Network) send(env Envelope) {
 		return
 	}
 	n.stats.Sent++
-	n.stats.Bytes += uint64(len(env.encoded))
+	n.stats.Bytes += uint64(env.size)
 	if !n.connectedLocked(env.env.From, env.env.To) {
 		n.stats.DroppedLink++
 		n.mu.Unlock()
@@ -269,7 +286,7 @@ func (n *Network) send(env Envelope) {
 
 // deliver is the arrival-time half: it rechecks connectivity (the link may
 // have been cut while the message was in flight) and enqueues at the
-// destination.
+// destination, subject to both the envelope-count and byte budgets.
 func (n *Network) deliver(env Envelope) {
 	n.mu.Lock()
 	if !n.connectedLocked(env.env.From, env.env.To) {
@@ -283,27 +300,47 @@ func (n *Network) deliver(env Envelope) {
 		n.mu.Unlock()
 		return
 	}
+	// Reserve the bytes before enqueueing so concurrent delivers cannot
+	// collectively overshoot the budget. queuedBytes is guarded by n.mu.
+	if dst.queuedBytes+env.size > n.cfg.QueueBytes {
+		n.stats.DroppedQueue++
+		n.mu.Unlock()
+		return
+	}
+	dst.queuedBytes += env.size
 	n.mu.Unlock()
 
 	select {
-	case dst.queue <- env.env:
+	case dst.queue <- env:
 		n.mu.Lock()
 		n.stats.Delivered++
 		n.mu.Unlock()
-		dst.countRecv(env.env.Payload.WireName(), len(env.encoded))
+		dst.countRecv(env.env.Payload.WireName(), env.size)
 	case <-dst.done:
+		n.release(dst, env.size)
 	default:
 		n.mu.Lock()
 		n.stats.DroppedQueue++
+		dst.queuedBytes -= env.size
 		n.mu.Unlock()
 	}
 }
 
-// Envelope pairs a decoded envelope with its encoded form for byte
-// accounting.
+// release returns reserved queue bytes after an envelope leaves the queue
+// (or never made it in).
+func (n *Network) release(dst *Endpoint, size int) {
+	n.mu.Lock()
+	dst.queuedBytes -= size
+	n.mu.Unlock()
+}
+
+// Envelope pairs a decoded envelope with its encoded size for byte
+// accounting. The encoded form itself is not retained: it returns to the
+// codec's buffer pool as soon as the clone is decoded, so chunk-sized
+// sends do not pin megabytes per queued message.
 type Envelope struct {
-	env     wire.Envelope
-	encoded []byte
+	env  wire.Envelope
+	size int
 }
 
 // Endpoint is one attachment to a Network; it implements
@@ -321,7 +358,12 @@ type Endpoint struct {
 	// SetMetrics and nil when metrics are off.
 	sendCount, sendBytes, recvCount, recvBytes *metrics.CounterVec
 
-	queue chan wire.Envelope
+	// queuedBytes is the encoded size of everything sitting in queue,
+	// guarded by net.mu (not e.mu): the network reserves bytes at deliver
+	// time and the deliver loop releases them on dequeue.
+	queuedBytes int
+
+	queue chan Envelope
 	done  chan struct{}
 }
 
@@ -380,7 +422,10 @@ func (e *Endpoint) SetHandler(h transport.Handler) {
 // Send implements transport.Transport. The payload is round-tripped
 // through the wire codec, so the receiver can never alias the sender's
 // memory and unencodable payloads fail loudly here rather than silently
-// differing between memnet and tcpnet.
+// differing between memnet and tcpnet. The encode uses the codec's pooled
+// buffers and only the decoded clone plus the encoded size travel through
+// the network. Messages whose encoded size exceeds Config.MaxFrame fail
+// with an error wrapping wire.ErrFrameTooLarge, matching tcpnet.
 func (e *Endpoint) Send(to ids.EndpointID, m wire.Message) error {
 	e.mu.Lock()
 	closed := e.closed
@@ -388,16 +433,23 @@ func (e *Endpoint) Send(to ids.EndpointID, m wire.Message) error {
 	if closed {
 		return transport.ErrClosed
 	}
-	data, err := wire.Encode(wire.Envelope{From: e.id, To: to, Payload: m})
+	buf, err := wire.EncodeBuffer(wire.Envelope{From: e.id, To: to, Payload: m})
 	if err != nil {
 		return err
 	}
-	env, err := wire.Decode(data)
+	size := buf.Len()
+	if size > e.net.cfg.MaxFrame {
+		wire.PutBuffer(buf)
+		return fmt.Errorf("memnet: encoded %s of %d bytes exceeds max frame %d: %w",
+			m.WireName(), size, e.net.cfg.MaxFrame, wire.ErrFrameTooLarge)
+	}
+	env, err := wire.Decode(buf.Bytes())
+	wire.PutBuffer(buf)
 	if err != nil {
 		return fmt.Errorf("memnet: payload does not survive codec round-trip: %w", err)
 	}
-	e.countSend(m.WireName(), len(data))
-	e.net.send(Envelope{env: env, encoded: data})
+	e.countSend(m.WireName(), size)
+	e.net.send(Envelope{env: env, size: size})
 	return nil
 }
 
@@ -420,11 +472,12 @@ func (e *Endpoint) deliverLoop() {
 	for {
 		select {
 		case env := <-e.queue:
+			e.net.release(e, env.size)
 			e.mu.Lock()
 			h := e.handler
 			e.mu.Unlock()
 			if h != nil {
-				h(env)
+				h(env.env)
 			}
 		case <-e.done:
 			return

@@ -1,6 +1,7 @@
 package memnet
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -394,4 +395,138 @@ func TestConcurrentSends(t *testing.T) {
 	}
 	wg.Wait()
 	cb.waitN(t, senders*per, 5*time.Second)
+}
+
+// TestLargeChunkDelivery sends a chunk-sized (multi-MB) payload end to end
+// and verifies the receiver sees every byte.
+func TestLargeChunkDelivery(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, b, _, cb := pair(t, n)
+
+	data := make([]byte, 2<<20)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := a.Send(b.Self(), ping{N: 7, Data: data}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got := cb.waitN(t, 1, 5*time.Second)
+	p := got[0].Payload.(ping)
+	if len(p.Data) != len(data) {
+		t.Fatalf("received %d bytes, want %d", len(p.Data), len(data))
+	}
+	for i := 0; i < len(data); i += 4096 {
+		if p.Data[i] != data[i] {
+			t.Fatalf("byte %d corrupted: %d != %d", i, p.Data[i], data[i])
+		}
+	}
+	if st := n.Stats(); st.Bytes < 2<<20 {
+		t.Errorf("Bytes = %d, want >= 2 MiB", st.Bytes)
+	}
+}
+
+// TestMaxFrameRejected pins the tcpnet-parity contract: an encoded message
+// past Config.MaxFrame fails at Send with wire.ErrFrameTooLarge and never
+// enters the network.
+func TestMaxFrameRejected(t *testing.T) {
+	n := New(Config{MaxFrame: 1024})
+	defer n.Close()
+	a, b, _, _ := pair(t, n)
+
+	err := a.Send(b.Self(), ping{N: 1, Data: make([]byte, 4096)})
+	if !errors.Is(err, wire.ErrFrameTooLarge) {
+		t.Fatalf("Send oversize = %v, want wire.ErrFrameTooLarge", err)
+	}
+	if st := n.Stats(); st.Sent != 0 {
+		t.Errorf("oversize message counted as sent: %+v", st)
+	}
+	// A message within the limit still goes through.
+	if err := a.Send(b.Self(), ping{N: 2}); err != nil {
+		t.Fatalf("small Send after oversize: %v", err)
+	}
+}
+
+// TestQueueByteBudget verifies the per-endpoint byte budget: with the
+// receiver's handler blocked, large messages past the budget are dropped
+// and counted, and the budget frees as messages drain.
+func TestQueueByteBudget(t *testing.T) {
+	n := New(Config{QueueBytes: 64 << 10})
+	defer n.Close()
+	a, err := n.Attach(ids.ProcessEndpoint(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Attach(ids.ProcessEndpoint(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unblock := make(chan struct{})
+	var mu sync.Mutex
+	delivered := 0
+	b.SetHandler(func(env wire.Envelope) {
+		<-unblock
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	})
+
+	// Each message encodes to ~16 KiB; the budget holds about four. One
+	// more is dequeued into the blocked handler. The rest must drop.
+	const sends = 12
+	for i := 0; i < sends; i++ {
+		if err := a.Send(b.Self(), ping{N: i, Data: make([]byte, 16<<10)}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := n.Stats()
+		if st.Delivered+st.DroppedQueue == sends {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counters never settled: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := n.Stats()
+	if st.DroppedQueue == 0 {
+		t.Fatalf("no drops although %d x 16 KiB exceeded a 64 KiB budget: %+v", sends, st)
+	}
+	if st.Delivered == 0 {
+		t.Fatalf("budget dropped everything: %+v", st)
+	}
+
+	close(unblock)
+	want := int(st.Delivered)
+	for {
+		mu.Lock()
+		d := delivered
+		mu.Unlock()
+		if d == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("handler saw %d of %d delivered", d, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// With the queue drained the budget is free again.
+	if err := a.Send(b.Self(), ping{N: 99, Data: make([]byte, 16<<10)}); err != nil {
+		t.Fatalf("Send after drain: %v", err)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		d := delivered
+		mu.Unlock()
+		if d == want+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("post-drain message never delivered; budget not released")
+		}
+		time.Sleep(time.Millisecond)
+	}
 }

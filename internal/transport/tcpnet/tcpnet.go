@@ -8,9 +8,19 @@
 // simply loses that message and the next Send redials. Inbound connections
 // are accepted continuously and read until error; the envelope carries the
 // source, so no handshake is needed.
+//
+// Writes go through a per-connection writer goroutine with two queues:
+// control (small frames — heartbeats, view changes, acks) and bulk (chunk
+// data and other frames at or above BulkThreshold). Control frames always
+// jump ahead of queued bulk, so a multi-MB chunk burst cannot starve
+// failure detection; bulk enqueueing blocks once SendWindow bytes are
+// queued, pushing backpressure into the producer instead of ballooning
+// memory. Frames are encoded into pooled buffers that return to the pool
+// after the write, so the chunk path does not allocate per message.
 package tcpnet
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"net"
@@ -39,6 +49,17 @@ type Config struct {
 	DialTimeout time.Duration
 	// WriteTimeout bounds each frame write. Zero means 2s.
 	WriteTimeout time.Duration
+	// MaxFrame bounds accepted frame sizes on decode; a length prefix
+	// above it is treated as stream corruption and drops the connection
+	// (wire.ErrFrameTooLarge). Zero means wire.MaxFrame.
+	MaxFrame int
+	// SendWindow bounds the bytes of bulk frames queued per connection
+	// before Send blocks (backpressure). Zero means 8 MiB.
+	SendWindow int
+	// BulkThreshold classifies frames: encoded sizes at or above it queue
+	// behind control traffic and count against SendWindow. Zero means
+	// 64 KiB.
+	BulkThreshold int
 	// Metrics, when non-nil, records per-message-type send/recv counts and
 	// bytes (transport_send_total and friends).
 	Metrics *metrics.Registry
@@ -49,20 +70,23 @@ type Transport struct {
 	cfg      Config
 	listener net.Listener
 
-	mu       sync.Mutex
-	handler  transport.Handler
-	peers    map[ids.EndpointID]string
-	conns    map[ids.EndpointID]net.Conn
-	accepted map[net.Conn]bool
+	mu      sync.Mutex
+	handler transport.Handler
+	peers   map[ids.EndpointID]string
+	conns   map[ids.EndpointID]*peerConn
+	// accepted holds every live connection (inbound and outbound) keyed
+	// by its wrapper, for teardown.
+	accepted map[*peerConn]bool
 	// replyConns maps a remote endpoint to the inbound connection it last
 	// spoke on, so unknown peers (clients behind NAT) can be answered over
 	// the connection they opened.
-	replyConns map[ids.EndpointID]net.Conn
+	replyConns map[ids.EndpointID]*peerConn
 	closed     bool
 
 	// Per-type counter families, cached so the per-message hot path pays
 	// no name formatting or registry lock. Nil when metrics are off.
 	sendCount, sendBytes, recvCount, recvBytes *metrics.CounterVec
+	oversize, backpressure                     *metrics.Counter
 
 	wg sync.WaitGroup
 }
@@ -80,18 +104,29 @@ func New(cfg Config) (*Transport, error) {
 	if cfg.WriteTimeout == 0 {
 		cfg.WriteTimeout = 2 * time.Second
 	}
+	if cfg.MaxFrame <= 0 || cfg.MaxFrame > wire.MaxFrame {
+		cfg.MaxFrame = wire.MaxFrame
+	}
+	if cfg.SendWindow <= 0 {
+		cfg.SendWindow = 8 << 20
+	}
+	if cfg.BulkThreshold <= 0 {
+		cfg.BulkThreshold = 64 << 10
+	}
 	t := &Transport{
 		cfg:        cfg,
 		peers:      make(map[ids.EndpointID]string, len(cfg.Peers)),
-		conns:      make(map[ids.EndpointID]net.Conn),
-		accepted:   make(map[net.Conn]bool),
-		replyConns: make(map[ids.EndpointID]net.Conn),
+		conns:      make(map[ids.EndpointID]*peerConn),
+		accepted:   make(map[*peerConn]bool),
+		replyConns: make(map[ids.EndpointID]*peerConn),
 	}
 	if cfg.Metrics != nil {
 		t.sendCount = cfg.Metrics.CounterVec(`transport_send_total{type=%q}`)
 		t.sendBytes = cfg.Metrics.CounterVec(`transport_send_bytes_total{type=%q}`)
 		t.recvCount = cfg.Metrics.CounterVec(`transport_recv_total{type=%q}`)
 		t.recvBytes = cfg.Metrics.CounterVec(`transport_recv_bytes_total{type=%q}`)
+		t.oversize = cfg.Metrics.Counter("transport_oversize_frames_total")
+		t.backpressure = cfg.Metrics.Counter("transport_backpressure_waits_total")
 	}
 	for id, addr := range cfg.Peers {
 		t.peers[id] = addr
@@ -121,11 +156,12 @@ func (t *Transport) Addr() string {
 // connection to the peer is dropped so the next Send uses the new address.
 func (t *Transport) AddPeer(id ids.EndpointID, addr string) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	pc := t.conns[id]
 	t.peers[id] = addr
-	if c, ok := t.conns[id]; ok {
-		_ = c.Close()
-		delete(t.conns, id)
+	delete(t.conns, id)
+	t.mu.Unlock()
+	if pc != nil {
+		pc.close()
 	}
 }
 
@@ -141,70 +177,69 @@ func (t *Transport) SetHandler(h transport.Handler) {
 
 // Send implements transport.Transport. Errors for unknown peers are
 // reported; transmission failures to known peers are best-effort and only
-// drop the cached connection.
+// drop the cached connection. Bulk frames may block here until the
+// connection's send window has room.
 func (t *Transport) Send(to ids.EndpointID, m wire.Message) error {
-	data, err := wire.Encode(wire.Envelope{From: t.cfg.Self, To: to, Payload: m})
+	buf, err := wire.EncodeBuffer(wire.Envelope{From: t.cfg.Self, To: to, Payload: m})
 	if err != nil {
 		return err
 	}
-	t.count("send", m.WireName(), len(data))
+	if buf.Len() > t.cfg.MaxFrame {
+		wire.PutBuffer(buf)
+		return fmt.Errorf("tcpnet: encoded %s of %d bytes exceeds max frame %d: %w",
+			m.WireName(), buf.Len(), t.cfg.MaxFrame, wire.ErrFrameTooLarge)
+	}
+	t.count("send", m.WireName(), buf.Len())
 
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
+		wire.PutBuffer(buf)
 		return transport.ErrClosed
 	}
 	addr, known := t.peers[to]
-	conn := t.conns[to]
+	pc := t.conns[to]
 	reply := t.replyConns[to]
 	t.mu.Unlock()
 
 	if !known {
 		if reply == nil {
+			wire.PutBuffer(buf)
 			return fmt.Errorf("tcpnet: no address for peer %s", to)
 		}
 		// Answer over the connection the peer opened to us.
-		_ = reply.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
-		if err := wire.WriteFrame(reply, data); err != nil {
-			t.mu.Lock()
-			if t.replyConns[to] == reply {
-				delete(t.replyConns, to)
-			}
-			t.mu.Unlock()
-		}
+		reply.enqueue(buf, buf.Len() >= t.cfg.BulkThreshold)
 		return nil
 	}
-	if conn == nil {
+	if pc == nil {
 		c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
 		if err != nil {
+			wire.PutBuffer(buf)
 			return nil // best-effort: peer unreachable is not a Send error
 		}
 		t.mu.Lock()
 		if t.closed {
 			t.mu.Unlock()
 			_ = c.Close()
+			wire.PutBuffer(buf)
 			return transport.ErrClosed
 		}
 		if existing, ok := t.conns[to]; ok {
 			// Lost a dial race; keep the existing connection.
 			_ = c.Close()
-			conn = existing
+			pc = existing
 		} else {
-			t.conns[to] = c
-			conn = c
+			pc = t.newPeerConn(c)
+			t.conns[to] = pc
 			// Outbound connections are bidirectional: the peer may answer
 			// over them (it has no address book entry for us).
-			t.accepted[c] = true
 			t.wg.Add(1)
-			go t.readLoop(c)
+			go t.readLoop(pc)
 		}
 		t.mu.Unlock()
 	}
 
-	_ = conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
-	if err := wire.WriteFrame(conn, data); err != nil {
-		t.dropConn(to, conn)
-	}
+	pc.enqueue(buf, buf.Len() >= t.cfg.BulkThreshold)
 	return nil
 }
 
@@ -221,15 +256,21 @@ func (t *Transport) count(dir, typ string, nbytes int) {
 	bytes.With(typ).Add(uint64(nbytes))
 }
 
-// dropConn closes and forgets a cached connection if it is still the one
-// registered for the peer.
-func (t *Transport) dropConn(to ids.EndpointID, conn net.Conn) {
+// forget removes a dead connection from every map it may be registered in.
+func (t *Transport) forget(pc *peerConn) {
 	t.mu.Lock()
-	if t.conns[to] == conn {
-		delete(t.conns, to)
+	delete(t.accepted, pc)
+	for ep, c := range t.conns {
+		if c == pc {
+			delete(t.conns, ep)
+		}
+	}
+	for ep, c := range t.replyConns {
+		if c == pc {
+			delete(t.replyConns, ep)
+		}
 	}
 	t.mu.Unlock()
-	_ = conn.Close()
 }
 
 // Close implements transport.Transport.
@@ -240,22 +281,20 @@ func (t *Transport) Close() error {
 		return nil
 	}
 	t.closed = true
-	conns := make([]net.Conn, 0, len(t.conns)+len(t.accepted))
-	for _, c := range t.conns {
-		conns = append(conns, c)
+	pcs := make([]*peerConn, 0, len(t.accepted))
+	for pc := range t.accepted {
+		pcs = append(pcs, pc)
 	}
-	for c := range t.accepted {
-		conns = append(conns, c)
-	}
-	t.conns = make(map[ids.EndpointID]net.Conn)
-	t.accepted = make(map[net.Conn]bool)
+	t.conns = make(map[ids.EndpointID]*peerConn)
+	t.accepted = make(map[*peerConn]bool)
+	t.replyConns = make(map[ids.EndpointID]*peerConn)
 	t.mu.Unlock()
 
 	if t.listener != nil {
 		_ = t.listener.Close()
 	}
-	for _, c := range conns {
-		_ = c.Close()
+	for _, pc := range pcs {
+		pc.close()
 	}
 	t.wg.Wait()
 	return nil
@@ -274,25 +313,28 @@ func (t *Transport) acceptLoop() {
 			_ = conn.Close()
 			return
 		}
-		t.accepted[conn] = true
+		pc := t.newPeerConn(conn)
 		t.mu.Unlock()
 		t.wg.Add(1)
-		go t.readLoop(conn)
+		go t.readLoop(pc)
 	}
 }
 
-func (t *Transport) readLoop(conn net.Conn) {
+// newPeerConn wraps a connection and starts its writer. Caller holds t.mu.
+func (t *Transport) newPeerConn(conn net.Conn) *peerConn {
+	pc := &peerConn{t: t, conn: conn}
+	pc.cond = sync.NewCond(&pc.mu)
+	t.accepted[pc] = true
+	t.wg.Add(1)
+	go pc.writer()
+	return pc
+}
+
+func (t *Transport) readLoop(pc *peerConn) {
 	defer t.wg.Done()
 	defer func() {
-		t.mu.Lock()
-		delete(t.accepted, conn)
-		for ep, c := range t.replyConns {
-			if c == conn {
-				delete(t.replyConns, ep)
-			}
-		}
-		t.mu.Unlock()
-		_ = conn.Close()
+		t.forget(pc)
+		pc.close()
 	}()
 	for {
 		t.mu.Lock()
@@ -301,8 +343,14 @@ func (t *Transport) readLoop(conn net.Conn) {
 		if closed {
 			return
 		}
-		data, err := wire.ReadFrame(conn)
+		data, err := wire.ReadFrameLimit(pc.conn, t.cfg.MaxFrame)
 		if err != nil {
+			if errors.Is(err, wire.ErrFrameTooLarge) && t.oversize != nil {
+				// Corrupt or hostile length prefix: the stream cannot be
+				// resynchronized, so the deferred close drops the
+				// connection rather than attempting the allocation.
+				t.oversize.Inc()
+			}
 			return
 		}
 		env, err := wire.Decode(data)
@@ -314,11 +362,123 @@ func (t *Transport) readLoop(conn net.Conn) {
 		}
 		t.count("recv", env.Payload.WireName(), len(data))
 		t.mu.Lock()
-		t.replyConns[env.From] = conn
+		t.replyConns[env.From] = pc
 		h := t.handler
 		t.mu.Unlock()
 		if h != nil {
 			h(env)
 		}
 	}
+}
+
+// peerConn owns one TCP connection: a control queue, a bulk queue bounded
+// by the send window, and the writer goroutine draining them in priority
+// order.
+type peerConn struct {
+	t    *Transport
+	conn net.Conn
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// control and bulk queue encoded frames awaiting the writer; entries
+	// are pooled buffers owned by the queue until written.
+	control, bulk []*bytes.Buffer
+	// bulkBytes is the queued bulk payload, bounded by SendWindow.
+	bulkBytes int
+	closed    bool
+}
+
+// enqueue hands an encoded frame to the writer, blocking while the bulk
+// window is full. The buffer's ownership passes to the queue.
+func (pc *peerConn) enqueue(buf *bytes.Buffer, isBulk bool) {
+	pc.mu.Lock()
+	if isBulk {
+		waited := false
+		for !pc.closed && pc.bulkBytes+buf.Len() > pc.t.cfg.SendWindow && pc.bulkBytes > 0 {
+			if !waited {
+				waited = true
+				if pc.t.backpressure != nil {
+					pc.t.backpressure.Inc()
+				}
+			}
+			pc.cond.Wait()
+		}
+	}
+	if pc.closed {
+		pc.mu.Unlock()
+		wire.PutBuffer(buf)
+		return // best-effort: frame lost with the connection
+	}
+	if isBulk {
+		pc.bulk = append(pc.bulk, buf)
+		pc.bulkBytes += buf.Len()
+	} else {
+		pc.control = append(pc.control, buf)
+	}
+	pc.cond.Broadcast()
+	pc.mu.Unlock()
+}
+
+// writer drains the queues, control first, until the connection closes.
+func (pc *peerConn) writer() {
+	defer pc.t.wg.Done()
+	for {
+		pc.mu.Lock()
+		for !pc.closed && len(pc.control) == 0 && len(pc.bulk) == 0 {
+			pc.cond.Wait()
+		}
+		if pc.closed {
+			pc.drainLocked()
+			pc.mu.Unlock()
+			return
+		}
+		var buf *bytes.Buffer
+		if len(pc.control) > 0 {
+			buf = pc.control[0]
+			pc.control = pc.control[1:]
+		} else {
+			buf = pc.bulk[0]
+			pc.bulk = pc.bulk[1:]
+			pc.bulkBytes -= buf.Len()
+		}
+		pc.cond.Broadcast() // window space freed; wake blocked producers
+		pc.mu.Unlock()
+
+		_ = pc.conn.SetWriteDeadline(time.Now().Add(pc.t.cfg.WriteTimeout))
+		err := wire.WriteFrame(pc.conn, buf.Bytes())
+		wire.PutBuffer(buf)
+		if err != nil {
+			pc.t.forget(pc)
+			pc.close()
+			pc.mu.Lock()
+			pc.drainLocked()
+			pc.mu.Unlock()
+			return
+		}
+	}
+}
+
+// drainLocked returns every queued buffer to the pool. Caller holds pc.mu.
+func (pc *peerConn) drainLocked() {
+	for _, b := range pc.control {
+		wire.PutBuffer(b)
+	}
+	for _, b := range pc.bulk {
+		wire.PutBuffer(b)
+	}
+	pc.control, pc.bulk, pc.bulkBytes = nil, nil, 0
+}
+
+// close marks the connection dead, wakes any blocked producers and the
+// writer, and closes the socket.
+func (pc *peerConn) close() {
+	pc.mu.Lock()
+	if pc.closed {
+		pc.mu.Unlock()
+		return
+	}
+	pc.closed = true
+	pc.cond.Broadcast()
+	pc.mu.Unlock()
+	_ = pc.conn.Close()
 }

@@ -1,11 +1,14 @@
 package tcpnet
 
 import (
+	"errors"
+	"net"
 	"sync"
 	"testing"
 	"time"
 
 	"hafw/internal/ids"
+	"hafw/internal/metrics"
 	"hafw/internal/transport"
 	"hafw/internal/wire"
 )
@@ -218,6 +221,164 @@ func TestConcurrentSenders(t *testing.T) {
 	}
 	wg.Wait()
 	sb.waitN(t, workers*per, 5*time.Second)
+}
+
+type blob struct {
+	Seq  int
+	Data []byte
+}
+
+func (blob) WireName() string { return "tcpnet.blob" }
+
+func init() { wire.Register(blob{}) }
+
+// TestLargeFrameRoundTrip pushes 1 MB frames through the bulk path (run
+// under -race in CI): payloads must arrive intact and in order alongside
+// interleaved control traffic.
+func TestLargeFrameRoundTrip(t *testing.T) {
+	a, b, _, sb := newPair(t)
+	const frames = 8
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	for i := 0; i < frames; i++ {
+		if err := a.Send(b.Self(), blob{Seq: i, Data: payload}); err != nil {
+			t.Fatalf("Send blob %d: %v", i, err)
+		}
+		if err := a.Send(b.Self(), note{N: i}); err != nil {
+			t.Fatalf("Send note %d: %v", i, err)
+		}
+	}
+	got := sb.waitN(t, 2*frames, 20*time.Second)
+	blobs := 0
+	for _, env := range got {
+		m, ok := env.Payload.(blob)
+		if !ok {
+			continue
+		}
+		if m.Seq != blobs {
+			t.Fatalf("blob %d arrived out of order (Seq=%d)", blobs, m.Seq)
+		}
+		if len(m.Data) != len(payload) {
+			t.Fatalf("blob %d truncated: %d bytes", m.Seq, len(m.Data))
+		}
+		for j := 0; j < len(payload); j += 4096 {
+			if m.Data[j] != payload[j] {
+				t.Fatalf("blob %d corrupted at offset %d", m.Seq, j)
+			}
+		}
+		blobs++
+	}
+	if blobs != frames {
+		t.Fatalf("received %d blobs, want %d", blobs, frames)
+	}
+}
+
+// TestOversizeFrameRejected covers both directions of the max-frame
+// limit: Send refuses to encode past the limit with the typed error, and
+// a receiver drops the connection on an oversized length prefix.
+func TestOversizeFrameRejected(t *testing.T) {
+	reg := metrics.NewRegistry()
+	a, err := New(Config{Self: ids.ProcessEndpoint(31), ListenAddr: "127.0.0.1:0",
+		MaxFrame: 256 << 10, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	b, err := New(Config{Self: ids.ProcessEndpoint(32), ListenAddr: "127.0.0.1:0",
+		MaxFrame: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	a.AddPeer(b.Self(), b.Addr())
+	sb := &sink{}
+	b.SetHandler(sb.handler)
+
+	if err := a.Send(b.Self(), blob{Data: make([]byte, 1<<20)}); !errors.Is(err, wire.ErrFrameTooLarge) {
+		t.Fatalf("oversized Send err = %v, want ErrFrameTooLarge", err)
+	}
+
+	// A raw connection announcing a giant frame must be dropped without
+	// the receiver attempting the allocation.
+	conn, err := net.Dial("tcp", a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{0xff, 0xff, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection with oversized prefix should be closed")
+	}
+	if v := reg.Counter("transport_oversize_frames_total").Value(); v != 1 {
+		t.Errorf("oversize counter = %d, want 1", v)
+	}
+}
+
+// TestBulkBackpressureBounded checks the send window: with a tiny window
+// and a receiver that drains slowly, queued bulk bytes stay bounded and
+// every frame still arrives.
+func TestBulkBackpressureBounded(t *testing.T) {
+	reg := metrics.NewRegistry()
+	a, err := New(Config{Self: ids.ProcessEndpoint(41), ListenAddr: "127.0.0.1:0",
+		SendWindow: 256 << 10, BulkThreshold: 32 << 10, Metrics: reg,
+		WriteTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	b, err := New(Config{Self: ids.ProcessEndpoint(42), ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	a.AddPeer(b.Self(), b.Addr())
+	sb := &sink{}
+	slow := func(env wire.Envelope) {
+		time.Sleep(time.Millisecond)
+		sb.handler(env)
+	}
+	b.SetHandler(slow)
+
+	const frames = 30
+	payload := make([]byte, 128<<10)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < frames; i++ {
+			if err := a.Send(b.Self(), blob{Seq: i, Data: payload}); err != nil {
+				t.Errorf("Send %d: %v", i, err)
+				return
+			}
+			// The window fits two frames; queued bulk must never exceed it.
+			a.mu.Lock()
+			pc := a.conns[b.Self()]
+			a.mu.Unlock()
+			if pc != nil {
+				pc.mu.Lock()
+				queued := pc.bulkBytes
+				pc.mu.Unlock()
+				if queued > 256<<10 {
+					t.Errorf("bulk queue %d bytes exceeds window", queued)
+					return
+				}
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("senders wedged in backpressure")
+	}
+	sb.waitN(t, frames, 30*time.Second)
+	if reg.Counter("transport_backpressure_waits_total").Value() == 0 {
+		t.Error("expected at least one backpressure wait with a tiny window")
+	}
 }
 
 func TestReplyOverInboundConnection(t *testing.T) {

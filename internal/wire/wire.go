@@ -152,11 +152,17 @@ func Clone(m Message) (Message, error) {
 // transports from corrupt or hostile length prefixes.
 const MaxFrame = 16 << 20 // 16 MiB
 
+// ErrFrameTooLarge is wrapped by frame codec errors when an encoded frame
+// (or a received length prefix) exceeds the configured maximum. A reader
+// hitting it cannot resynchronize the stream — the length prefix itself is
+// untrustworthy — so the connection must be dropped, not the frame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
 // WriteFrame writes one length-prefixed frame (4-byte big-endian length
 // followed by the payload bytes) to w.
 func WriteFrame(w io.Writer, data []byte) error {
 	if len(data) > MaxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", len(data), MaxFrame)
+		return fmt.Errorf("wire: frame of %d bytes exceeds max %d: %w", len(data), MaxFrame, ErrFrameTooLarge)
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
@@ -169,19 +175,72 @@ func WriteFrame(w io.Writer, data []byte) error {
 	return nil
 }
 
-// ReadFrame reads one frame written by WriteFrame from r.
+// ReadFrame reads one frame written by WriteFrame from r, accepting frames
+// up to MaxFrame bytes.
 func ReadFrame(r io.Reader) ([]byte, error) {
+	return ReadFrameLimit(r, MaxFrame)
+}
+
+// ReadFrameLimit reads one frame written by WriteFrame from r, rejecting
+// length prefixes above max (clamped to MaxFrame; zero or negative means
+// MaxFrame) before any payload allocation. An oversized prefix yields an
+// error wrapping ErrFrameTooLarge.
+func ReadFrameLimit(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 || max > MaxFrame {
+		max = MaxFrame
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err // preserve io.EOF for clean shutdown detection
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return nil, fmt.Errorf("wire: frame of %d bytes exceeds max %d", n, MaxFrame)
+	if n > uint32(max) {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds max %d: %w", n, max, ErrFrameTooLarge)
 	}
 	data := make([]byte, n)
 	if _, err := io.ReadFull(r, data); err != nil {
 		return nil, fmt.Errorf("wire: read frame body: %w", err)
 	}
 	return data, nil
+}
+
+// maxPooledBuffer caps the capacity of buffers returned to the encode
+// pool; occasional outliers above it are left to the garbage collector so
+// one huge frame does not pin its allocation forever.
+const maxPooledBuffer = 4 << 20
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// GetBuffer returns an empty scratch buffer from the shared encode pool.
+func GetBuffer() *bytes.Buffer {
+	return bufPool.Get().(*bytes.Buffer)
+}
+
+// PutBuffer returns a buffer obtained from GetBuffer to the pool. The
+// caller must not retain any slice aliasing the buffer's contents.
+func PutBuffer(b *bytes.Buffer) {
+	if b == nil || b.Cap() > maxPooledBuffer {
+		return
+	}
+	b.Reset()
+	bufPool.Put(b)
+}
+
+// EncodeBuffer serializes an envelope into a pooled buffer, avoiding a
+// fresh allocation per message on high-volume paths (the chunk data plane).
+// The caller owns the returned buffer and must release it with PutBuffer
+// once the bytes have been written out.
+func EncodeBuffer(env Envelope) (*bytes.Buffer, error) {
+	if env.Payload == nil {
+		return nil, errors.New("wire: encode: nil payload")
+	}
+	if !Registered(env.Payload.WireName()) {
+		return nil, fmt.Errorf("wire: encode: unregistered message type %q", env.Payload.WireName())
+	}
+	buf := GetBuffer()
+	if err := gob.NewEncoder(buf).Encode(&env); err != nil {
+		PutBuffer(buf)
+		return nil, fmt.Errorf("wire: encode: %w", err)
+	}
+	return buf, nil
 }

@@ -123,14 +123,75 @@ func TestFrameRoundTrip(t *testing.T) {
 }
 
 func TestFrameTooLarge(t *testing.T) {
-	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); err == nil {
-		t.Error("WriteFrame should reject oversized frames")
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("WriteFrame oversized: err = %v, want ErrFrameTooLarge", err)
 	}
 	// A corrupt header claiming a giant frame must be rejected before
-	// allocation.
+	// allocation, with the typed error so transports can drop the
+	// connection rather than the frame.
 	hdr := []byte{0xff, 0xff, 0xff, 0xff}
-	if _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
-		t.Error("ReadFrame should reject oversized frame headers")
+	if _, err := ReadFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("ReadFrame oversized header: err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, 1024)); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	framed := buf.Bytes()
+
+	if _, err := ReadFrameLimit(bytes.NewReader(framed), 512); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("limit below frame size: err = %v, want ErrFrameTooLarge", err)
+	}
+	if got, err := ReadFrameLimit(bytes.NewReader(framed), 1024); err != nil || len(got) != 1024 {
+		t.Errorf("limit at frame size: got %d bytes, err %v", len(got), err)
+	}
+	// Zero means the package default.
+	if got, err := ReadFrameLimit(bytes.NewReader(framed), 0); err != nil || len(got) != 1024 {
+		t.Errorf("zero limit: got %d bytes, err %v", len(got), err)
+	}
+}
+
+func TestEncodeBufferPooled(t *testing.T) {
+	env := Envelope{
+		From:    ids.ProcessEndpoint(1),
+		To:      ids.ClientEndpoint(2),
+		Payload: testMsg{N: 42, Text: "pooled", List: []uint64{9}},
+	}
+	buf, err := EncodeBuffer(env)
+	if err != nil {
+		t.Fatalf("EncodeBuffer: %v", err)
+	}
+	plain, err := Encode(env)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), plain) {
+		t.Error("EncodeBuffer bytes differ from Encode")
+	}
+	got, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if m, ok := got.Payload.(testMsg); !ok || m.N != 42 {
+		t.Errorf("payload mangled: %+v", got.Payload)
+	}
+	PutBuffer(buf)
+
+	// A recycled buffer must come back empty.
+	b2 := GetBuffer()
+	if b2.Len() != 0 {
+		t.Errorf("pooled buffer not reset: %d bytes", b2.Len())
+	}
+	PutBuffer(b2)
+
+	if _, err := EncodeBuffer(Envelope{}); err == nil {
+		t.Error("EncodeBuffer with nil payload should fail")
+	}
+	if _, err := EncodeBuffer(Envelope{Payload: unregisteredMsg{}}); err == nil {
+		t.Error("EncodeBuffer with unregistered payload should fail")
 	}
 }
 

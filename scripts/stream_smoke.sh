@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# stream_smoke.sh — end-to-end smoke test of the chunked streaming plane
+# over a real 3-node tcpnet deployment: boot hanodes serving a synthetic
+# title, start a pull-mode client, locate the session's primary via
+# /statusz, kill it mid-stream, and require the client to reach end of
+# title with bounded stall time (-require-eof -max-stall makes haclient
+# itself exit non-zero otherwise).
+#
+# Usage: scripts/stream_smoke.sh [bindir]
+#   bindir — directory holding prebuilt hanode/haclient binaries; when
+#            absent they are built into a temp dir first.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BINDIR="${1:-}"
+WORK="$(mktemp -d)"
+cleanup() {
+  kill "${PIDS[@]}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+PIDS=()
+
+if [ -z "$BINDIR" ]; then
+  BINDIR="$WORK/bin"
+  mkdir -p "$BINDIR"
+  go build -o "$BINDIR" ./cmd/hanode ./cmd/haclient
+fi
+
+PEERS="1=127.0.0.1:7401,2=127.0.0.1:7402,3=127.0.0.1:7403"
+OPS=(127.0.0.1:9401 127.0.0.1:9402 127.0.0.1:9403)
+
+# A 12s title at 500 KB/s in 32 KiB chunks: long enough that the kill at
+# t=3s lands mid-stream, short enough for CI.
+for i in 1 2 3; do
+  "$BINDIR/hanode" -id "$i" -listen "127.0.0.1:740$i" -peers "$PEERS" \
+    -http "${OPS[$((i - 1))]}" -propagation 100ms -stats 0 \
+    -media-duration 12s -bitrate 500000 -chunk-bytes 32768 \
+    >"$WORK/node$i.log" 2>&1 &
+  PIDS+=($!)
+done
+
+for addr in "${OPS[@]}"; do
+  for _ in $(seq 1 50); do
+    curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+  curl -fsS "http://$addr/healthz" >/dev/null
+done
+echo "== cluster up, ops endpoints healthy"
+
+"$BINDIR/haclient" -servers "$PEERS" -play 45s -pull-timeout 300ms \
+  -require-eof -max-stall 10s >"$WORK/client.log" 2>&1 &
+CLIENT=$!
+
+# Let the stream establish, then find which node is primary for the
+# session and kill exactly that one — the takeover case, not a bystander.
+sleep 3
+primary=""
+for attempt in $(seq 1 10); do
+  for i in 1 2 3; do
+    statusz="$(curl -fsS "http://${OPS[$((i - 1))]}/statusz" 2>/dev/null || true)"
+    if grep -Eq '"role":[[:space:]]*"primary"' <<<"$statusz"; then
+      primary="$i"
+      break 2
+    fi
+  done
+  sleep 0.5
+done
+if [ -z "$primary" ]; then
+  echo "no node reports a primary session" >&2
+  cat "$WORK/client.log" >&2
+  exit 1
+fi
+kill "${PIDS[$((primary - 1))]}"
+echo "== killed primary node $primary mid-stream"
+
+if ! wait "$CLIENT"; then
+  echo "client FAILED to stream through the failover" >&2
+  cat "$WORK/client.log" >&2
+  exit 1
+fi
+grep -q 'completed         true' "$WORK/client.log" || {
+  echo "client log does not report completion" >&2
+  cat "$WORK/client.log" >&2
+  exit 1
+}
+echo "== client reached end of title through the primary kill"
+grep -E 'stalls|duplicates|pulls' "$WORK/client.log" | sed 's/^/   /'
+echo "== stream smoke OK"
