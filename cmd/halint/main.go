@@ -1,17 +1,27 @@
 // Command halint runs the framework's static checkers (determinism,
-// lockcheck, wirecheck, tracecheck; see DESIGN.md "Static analysis") over
-// Go packages. It supports two modes:
+// lockcheck, wirecheck, tracecheck, lockorder, hotpath, leakcheck,
+// handlercheck; see DESIGN.md "Static analysis") over Go packages. It
+// supports two modes:
 //
 //   - Standalone: `halint [-fix] [-writeschema] ./...` loads the named
 //     packages (plus dependencies, for fact propagation) and reports
 //     diagnostics. -fix applies the mechanical suggested fixes (missing
-//     defer Unlock, sort.Slice after a map range); -writeschema
-//     regenerates internal/wire/schema.golden from the current tree.
+//     defer Unlock, sort.Slice after a map range, defer ticker.Stop,
+//     loop-invariant buffer hoists); -writeschema regenerates
+//     internal/wire/schema.golden from the current tree.
 //
 //   - Unit checker: when invoked by `go vet -vettool=$(pwd)/halint`, the
 //     go command drives halint once per package with a JSON config file;
 //     facts flow between those processes through .vetx files. This mode
 //     also covers _test.go files, which the standalone loader skips.
+//
+// Baseline: `-baseline halint.baseline` (or the HALINT_BASELINE
+// environment variable, which also reaches the unit-checker subprocesses
+// `go vet` spawns) suppresses the findings recorded in the baseline file
+// so only new findings fail; `-writebaseline halint.baseline`
+// grandfathers the current findings. Baseline keys are
+// file-relative-to-the-baseline plus analyzer plus message — no line
+// numbers, so unrelated edits don't invalidate them.
 //
 // Exit status: 0 for no findings, 2 for findings, 1 for operational
 // errors — matching `go vet`'s convention.
@@ -29,19 +39,28 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"hafw/internal/analysis"
 	"hafw/internal/analysis/load"
 	"hafw/internal/analyzers/determinism"
+	"hafw/internal/analyzers/handlercheck"
+	"hafw/internal/analyzers/hotpath"
+	"hafw/internal/analyzers/leakcheck"
 	"hafw/internal/analyzers/lockcheck"
+	"hafw/internal/analyzers/lockorder"
 	"hafw/internal/analyzers/tracecheck"
 	"hafw/internal/analyzers/wirecheck"
 )
 
 var analyzers = []*analysis.Analyzer{
 	determinism.Analyzer,
+	handlercheck.Analyzer,
+	hotpath.Analyzer,
+	leakcheck.Analyzer,
 	lockcheck.Analyzer,
+	lockorder.Analyzer,
 	tracecheck.Analyzer,
 	wirecheck.Analyzer,
 }
@@ -51,6 +70,8 @@ func main() {
 	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (go vet protocol)")
 	fixFlag := flag.Bool("fix", false, "apply suggested fixes (standalone mode)")
 	schemaFlag := flag.Bool("writeschema", false, "regenerate the wire schema golden file (standalone mode)")
+	baselineFlag := flag.String("baseline", os.Getenv("HALINT_BASELINE"), "suppress findings recorded in this baseline file; only new findings fail")
+	writeBaselineFlag := flag.String("writebaseline", "", "record the current findings in this baseline file and exit 0 (standalone mode)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: halint [-fix | -writeschema] packages...\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "   or: go vet -vettool=/path/to/halint packages...\n\nAnalyzers:\n")
@@ -71,13 +92,13 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(unitCheck(args[0]))
+		os.Exit(unitCheck(args[0], *baselineFlag))
 	}
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(1)
 	}
-	os.Exit(standalone(args, *fixFlag, *schemaFlag))
+	os.Exit(standalone(args, *fixFlag, *schemaFlag, *baselineFlag, *writeBaselineFlag))
 }
 
 // printVersion implements the `-V=full` handshake the go command uses to
@@ -100,7 +121,7 @@ func printVersion() {
 
 // ---- standalone mode ----
 
-func standalone(patterns []string, fix, writeSchema bool) int {
+func standalone(patterns []string, fix, writeSchema bool, baseline, writeBaseline string) int {
 	pkgs, fset, err := load.Load(".", patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "halint: %v\n", err)
@@ -134,12 +155,111 @@ func standalone(patterns []string, fix, writeSchema bool) int {
 	if fix {
 		findings = applyFixes(fset, findings)
 	}
+	if writeBaseline != "" {
+		return doWriteBaseline(fset, findings, writeBaseline)
+	}
+	if baseline != "" {
+		var err error
+		findings, err = filterBaseline(fset, findings, baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "halint: %v\n", err)
+			return 1
+		}
+	}
 	for _, f := range findings {
 		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(f.Pos), f.Analyzer, f.Message)
 	}
 	if len(findings) > 0 {
 		return 2
 	}
+	return 0
+}
+
+// ---- baseline mode ----
+
+// baselineKey renders one finding as its baseline line: the file path
+// relative to the baseline's directory, the analyzer, and the message.
+// Line numbers are deliberately absent so unrelated edits to a file do
+// not invalidate its grandfathered findings.
+func baselineKey(fset *token.FileSet, baseDir string, f analysis.Finding) string {
+	file := fset.Position(f.Pos).Filename
+	if rel, err := filepath.Rel(baseDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return file + ": " + f.Analyzer + ": " + f.Message
+}
+
+// loadBaseline reads the grandfathered finding keys. A missing file is an
+// empty baseline, so bootstrapping does not require a dummy file.
+func loadBaseline(path string) (map[string]bool, string, error) {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return nil, "", err
+	}
+	baseDir := filepath.Dir(abs)
+	keys := make(map[string]bool)
+	data, err := os.ReadFile(abs)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return keys, baseDir, nil
+		}
+		return nil, "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		keys[line] = true
+	}
+	return keys, baseDir, nil
+}
+
+// filterBaseline drops findings whose keys are grandfathered.
+func filterBaseline(fset *token.FileSet, findings []analysis.Finding, path string) ([]analysis.Finding, error) {
+	keys, baseDir, err := loadBaseline(path)
+	if err != nil {
+		return nil, err
+	}
+	var kept []analysis.Finding
+	for _, f := range findings {
+		if !keys[baselineKey(fset, baseDir, f)] {
+			kept = append(kept, f)
+		}
+	}
+	return kept, nil
+}
+
+// doWriteBaseline grandfathers the current findings: every key is
+// written once, sorted, under a header explaining the contract.
+func doWriteBaseline(fset *token.FileSet, findings []analysis.Finding, path string) int {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "halint: %v\n", err)
+		return 1
+	}
+	baseDir := filepath.Dir(abs)
+	seen := make(map[string]bool)
+	var keys []string
+	for _, f := range findings {
+		k := baselineKey(fset, baseDir, f)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# halint baseline — grandfathered findings; new findings still fail.\n")
+	b.WriteString("# Shrink this file by fixing findings; regenerate with: go run ./cmd/halint -writebaseline halint.baseline ./...\n")
+	for _, k := range keys {
+		b.WriteString(k + "\n")
+	}
+	if err := os.WriteFile(abs, []byte(b.String()), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "halint: %v\n", err)
+		return 1
+	}
+	fmt.Printf("halint: wrote %s (%d findings)\n", path, len(keys))
 	return 0
 }
 
@@ -232,7 +352,7 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
-func unitCheck(cfgPath string) int {
+func unitCheck(cfgPath, baseline string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "halint: %v\n", err)
@@ -308,6 +428,13 @@ func unitCheck(cfgPath string) int {
 	}
 	if cfg.VetxOnly {
 		return 0
+	}
+	if baseline != "" {
+		findings, err = filterBaseline(fset, findings, baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "halint: %v\n", err)
+			return 1
+		}
 	}
 	for _, f := range findings {
 		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(f.Pos), f.Analyzer, f.Message)

@@ -131,8 +131,12 @@ func main() {
 
 	// Finish a few more steps to show the lesson continues normally.
 	for i := 0; i < 3; i++ {
-		if c, ok := next().(edu.Content); ok {
-			fmt.Printf("▸ continuing: [%s] %s\n", c.Object.Kind, c.Object.Title)
+		switch r := next().(type) {
+		case edu.Content:
+			fmt.Printf("▸ continuing: [%s] %s\n", r.Object.Kind, r.Object.Title)
+		case edu.Done:
+			fmt.Println("▸ reached the end of the syllabus")
+			i = 3
 		}
 	}
 	if err := sess.End(); err != nil {

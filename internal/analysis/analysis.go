@@ -88,12 +88,27 @@ type Pass struct {
 	// belong to the package under analysis and be addressable by
 	// ObjectKey.
 	ExportObjectFact func(obj types.Object, fact Fact)
+	// ImportPackageFact copies the whole-package fact previously exported
+	// by this analyzer for pkg (the package under analysis or one of its
+	// dependencies) into fact, reporting whether one existed. Package
+	// facts are how analyzers accumulate program-wide structures — the
+	// lockorder pass folds each dependency's lock-acquisition graph into
+	// its own this way.
+	ImportPackageFact func(pkg *types.Package, fact Fact) bool
+	// ExportPackageFact records a fact for the package under analysis,
+	// visible to this analyzer when it later runs on importing packages.
+	ExportPackageFact func(fact Fact)
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
+
+// PackageFactKey is the reserved fact-table key under which a package's
+// whole-package fact is stored. The NUL prefix keeps it outside the
+// ObjectKey namespace (Go identifiers cannot contain NUL).
+const PackageFactKey = "\x00package"
 
 // ObjectKey returns a stable, per-package identifier for a fact-bearing
 // object, or "" if the object cannot carry facts. Package-level functions

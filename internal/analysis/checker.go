@@ -50,8 +50,10 @@ func RunAnalyzers(lp *LoadedPackage, analyzers []*Analyzer, deps func(pkgPath st
 			Report: func(d Diagnostic) {
 				findings = append(findings, Finding{Analyzer: a.Name, Diagnostic: d})
 			},
-			ImportObjectFact: fa.importFact,
-			ExportObjectFact: fa.exportFact,
+			ImportObjectFact:  fa.importFact,
+			ExportObjectFact:  fa.exportFact,
+			ImportPackageFact: fa.importPackageFact,
+			ExportPackageFact: fa.exportPackageFact,
 		}
 		if err := a.Run(pass); err != nil {
 			return facts, findings, fmt.Errorf("analyzer %s on %s: %w", a.Name, lp.Pkg.Path(), err)

@@ -64,6 +64,37 @@ func (fa *factAccess) importFact(obj types.Object, fact Fact) bool {
 	return DecodeFact(data, fact) == nil
 }
 
+func (fa *factAccess) importPackageFact(pkg *types.Package, fact Fact) bool {
+	if pkg == nil {
+		return false
+	}
+	var table PackageFacts
+	if pkg.Path() == fa.selfPath {
+		table = fa.self
+	} else if fa.deps != nil {
+		table = fa.deps(pkg.Path())
+	}
+	if table == nil {
+		return false
+	}
+	data, ok := table[fa.analyzer][PackageFactKey]
+	if !ok {
+		return false
+	}
+	return DecodeFact(data, fact) == nil
+}
+
+func (fa *factAccess) exportPackageFact(fact Fact) {
+	data, err := EncodeFact(fact)
+	if err != nil {
+		return
+	}
+	if fa.self[fa.analyzer] == nil {
+		fa.self[fa.analyzer] = make(map[string][]byte)
+	}
+	fa.self[fa.analyzer][PackageFactKey] = data
+}
+
 func (fa *factAccess) exportFact(obj types.Object, fact Fact) {
 	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != fa.selfPath {
 		return

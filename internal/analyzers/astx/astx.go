@@ -107,6 +107,24 @@ func InspectNoFuncLit(n ast.Node, fn func(ast.Node) bool) {
 	})
 }
 
+// Children invokes walk on each direct child of n. Analyzers that need
+// scoped state during traversal (loop stacks, nesting depth) recurse via
+// walk themselves instead of relying on ast.Inspect's implicit descent.
+func Children(n ast.Node, walk func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if first {
+			first = false
+			return true
+		}
+		walk(m)
+		return false
+	})
+}
+
 // ModulePathSuffix reports whether path is exactly suffix or ends with
 // "/"+suffix; analyzers use it to recognize framework packages both from
 // the real module ("hafw/internal/transport") and from analysistest stub

@@ -1,0 +1,253 @@
+// Package handlercheck implements the halint pass that keeps the wire
+// schema and the message handlers in lockstep. The golden schema
+// (internal/wire/schema.golden) is append-only: adding a message type is
+// a one-line append, and nothing in the compiler notices if the matching
+// `case` in the receiving type-switch was never written — the message
+// arrives, falls through to the default arm (or is dropped silently),
+// and the bug surfaces as a protocol hang under failover. This pass
+// makes the miss a lint error at the type declaration instead.
+//
+// For every schema.golden entry whose type is declared in the package
+// under analysis, the package must handle the type: a type-switch case
+// or type assertion naming the type (pointer or value form) in a
+// non-test file. Types that are consumed elsewhere — server→client
+// notifications, example-app payloads — carry a
+// `//hafw:handledby <import-path>` directive on their declaration; the
+// directive exports a fact on the type object, and the named package
+// (which necessarily imports the declaring one to name the type)
+// verifies the handler on its own run. `//hafw:handledby -` exempts
+// payload types that ride inside another message's typed field and are
+// never dispatched. A schema entry whose type no longer exists in its
+// declaring package is also an error: the schema describes messages
+// peers may still send.
+package handlercheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"hafw/internal/analysis"
+	"hafw/internal/analyzers/wirecheck"
+)
+
+// Directive names the package responsible for handling a message type
+// declared elsewhere than its consumers.
+const Directive = "//hafw:handledby"
+
+// Analyzer is the handlercheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "handlercheck",
+	Doc:       "checks that every wire message in schema.golden has a handler: a type-switch case or type assertion in its declaring package, or in the package named by a //hafw:handledby directive",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*HandledByFact)(nil)},
+}
+
+// HandledByFact, exported on a message type's object, delegates the
+// handler obligation to the named package.
+type HandledByFact struct {
+	Path string
+}
+
+// AFact implements analysis.Fact.
+func (*HandledByFact) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	handled := handledTypes(pass)
+
+	// Obligations delegated to this package by //hafw:handledby
+	// directives on imported types.
+	for _, imp := range pass.Pkg.Imports() {
+		scope := imp.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			var fact HandledByFact
+			if !pass.ImportObjectFact(tn, &fact) || fact.Path != pass.Pkg.Path() {
+				continue
+			}
+			qualified := imp.Path() + "." + tn.Name()
+			if !handled[qualified] {
+				pass.Reportf(importPos(pass, imp.Path()),
+					"%s is marked %s %s but this package has no type-switch case or type assertion handling it",
+					qualified, Directive, pass.Pkg.Path())
+			}
+		}
+	}
+
+	// Obligations of the declaring package: every schema entry whose type
+	// lives here needs a local handler or a delegation directive.
+	schema := loadSchemaTypes(pass)
+	if schema == nil {
+		return nil
+	}
+	decls := typeDecls(pass)
+	prefix := pass.Pkg.Path() + "."
+	for wireName, typeName := range schema {
+		if !strings.HasPrefix(typeName, prefix) {
+			continue
+		}
+		local := strings.TrimPrefix(typeName, prefix)
+		d, ok := decls[local]
+		if !ok {
+			pass.Reportf(pass.Files[0].Pos(),
+				"schema.golden lists %q as %s but this package declares no such type; peers may still send it — restore the type or its decoder",
+				wireName, typeName)
+			continue
+		}
+		if delegate := handledByDirective(d); delegate != "" {
+			// "-" exempts payload types: results or snapshots carried
+			// inside another message's typed field, never dispatched
+			// through a type switch.
+			if delegate != "-" {
+				if obj, ok := pass.TypesInfo.Defs[d.spec.Name].(*types.TypeName); ok {
+					pass.ExportObjectFact(obj, &HandledByFact{Path: delegate})
+				}
+			}
+			continue
+		}
+		if !handled[typeName] {
+			pass.Reportf(d.spec.Pos(),
+				"wire message %q (%s) has no handler: no type-switch case or type assertion names it in this package; add a case or annotate the declaration with `%s <pkg>`",
+				wireName, typeName, Directive)
+		}
+	}
+	return nil
+}
+
+// handledTypes collects the package-path-qualified names of every type
+// used in a type-switch case or type assertion in the package's non-test
+// files.
+func handledTypes(pass *analysis.Pass) map[string]bool {
+	out := make(map[string]bool)
+	add := func(expr ast.Expr) {
+		if expr == nil { // `case nil:` and `x.(type)` itself
+			return
+		}
+		t := pass.TypesInfo.Types[expr].Type
+		if t == nil {
+			return
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			out[named.Obj().Pkg().Path()+"."+named.Obj().Name()] = true
+		}
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Package).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSwitchStmt:
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, expr := range cc.List {
+						add(expr)
+					}
+				}
+			case *ast.TypeAssertExpr:
+				add(n.Type)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// typeDecl pairs a TypeSpec with its enclosing GenDecl's doc comment:
+// for an unparenthesized `type X struct` the doc attaches to the
+// GenDecl, not the spec.
+type typeDecl struct {
+	spec  *ast.TypeSpec
+	gdDoc *ast.CommentGroup
+}
+
+// typeDecls maps local type names to their declarations.
+func typeDecls(pass *analysis.Pass) map[string]typeDecl {
+	out := make(map[string]typeDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok {
+					out[ts.Name.Name] = typeDecl{spec: ts, gdDoc: gd.Doc}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// handledByDirective extracts the import path from a type declaration's
+// //hafw:handledby directive, checking the TypeSpec's doc, its trailing
+// comment, and the enclosing GenDecl's doc.
+func handledByDirective(d typeDecl) string {
+	for _, doc := range []*ast.CommentGroup{d.spec.Doc, d.spec.Comment, d.gdDoc} {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			text := strings.TrimSpace(c.Text)
+			if rest, ok := strings.CutPrefix(text, Directive+" "); ok {
+				return strings.TrimSpace(rest)
+			}
+		}
+	}
+	return ""
+}
+
+// importPos returns the position of the import spec for path, for
+// anchoring delegated-obligation diagnostics; falls back to the first
+// file.
+func importPos(pass *analysis.Pass, path string) token.Pos {
+	for _, file := range pass.Files {
+		for _, spec := range file.Imports {
+			if p, err := strconv.Unquote(spec.Path.Value); err == nil && p == path {
+				return spec.Pos()
+			}
+		}
+	}
+	return pass.Files[0].Pos()
+}
+
+// loadSchemaTypes reads wirename → qualified type name from the golden
+// schema next to the wire package's sources; nil when the package has no
+// path to a wire package.
+func loadSchemaTypes(pass *analysis.Pass) map[string]string {
+	dir := wirecheck.SchemaDir(pass)
+	if dir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(filepath.Join(dir, wirecheck.SchemaFile))
+	if err != nil {
+		return nil // wirecheck reports the missing schema
+	}
+	out := make(map[string]string)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) < 2 {
+			continue
+		}
+		out[parts[0]] = parts[1]
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package handlercheck_test
+
+import (
+	"testing"
+
+	"hafw/internal/analysis/analysistest"
+	"hafw/internal/analyzers/handlercheck"
+)
+
+func TestHandlerCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), handlercheck.Analyzer, "hc", "hcclient")
+}

@@ -1,0 +1,7 @@
+package wire
+
+// Message is the stub of the framework's wire message interface.
+type Message interface{ WireName() string }
+
+// Register is the stub of the gob registration hook.
+func Register(m Message) {}

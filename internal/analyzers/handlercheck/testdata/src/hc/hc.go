@@ -1,0 +1,58 @@
+// Package hc declares the message types listed in the fixture schema:
+// handled locally (type switch and assertion forms), delegated via
+// //hafw:handledby, orphaned (no handler anywhere), and a ghost entry
+// whose type no longer exists.
+package hc // want `schema\.golden lists "hc\.Ghost" as hc\.Ghost but this package declares no such type; peers may still send it — restore the type or its decoder`
+
+import "hafw/internal/wire"
+
+type Handled struct{ ID int }
+
+func (Handled) WireName() string { return "hc.Handled" }
+
+type AssertHandled struct{ ID int }
+
+func (AssertHandled) WireName() string { return "hc.AssertHandled" }
+
+type Orphan struct{ ID int } // want `wire message "hc\.Orphan" \(hc\.Orphan\) has no handler: no type-switch case or type assertion names it in this package`
+
+func (Orphan) WireName() string { return "hc.Orphan" }
+
+//hafw:handledby hcclient
+type Delegated struct{ ID int }
+
+func (Delegated) WireName() string { return "hc.Delegated" }
+
+//hafw:handledby hcclient
+type Dropped struct{ ID int }
+
+func (Dropped) WireName() string { return "hc.Dropped" }
+
+// Payload rides inside another message's typed field; it is never
+// dispatched, so it is exempt.
+//
+//hafw:handledby -
+type Payload struct{ ID int }
+
+func (Payload) WireName() string { return "hc.Payload" }
+
+func init() {
+	wire.Register(Handled{})
+	wire.Register(AssertHandled{})
+	wire.Register(Orphan{})
+	wire.Register(Delegated{})
+	wire.Register(Dropped{})
+	wire.Register(Payload{})
+}
+
+// Dispatch handles Handled via a type switch and AssertHandled via a
+// type assertion.
+func Dispatch(m wire.Message) {
+	switch v := m.(type) {
+	case Handled:
+		_ = v
+	}
+	if a, ok := m.(*AssertHandled); ok {
+		_ = a
+	}
+}

@@ -1,0 +1,14 @@
+// Package hcclient is the delegate named by hc's //hafw:handledby
+// directives: it handles Delegated but not Dropped, so the broken
+// delegation is reported here, at the import.
+package hcclient
+
+import "hc" // want `hc\.Dropped is marked //hafw:handledby hcclient but this package has no type-switch case or type assertion handling it`
+
+// Handle consumes delegated hc messages.
+func Handle(m any) {
+	switch v := m.(type) {
+	case *hc.Delegated:
+		_ = v
+	}
+}

@@ -1,0 +1,20 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"hafw/internal/analysis/analysistest"
+	"hafw/internal/analyzers/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotpath.Analyzer, "hot")
+}
+
+func TestCrossPackageChain(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotpath.Analyzer, "hota", "hotb")
+}
+
+func TestHoistFix(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, analysistest.TestData(), hotpath.Analyzer, "hotfix")
+}

@@ -1,0 +1,15 @@
+// Package hota is the dependency half of the cross-package hotpath
+// fixture: Marshal allocates (gob), and the fact travels to importers.
+package hota
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Marshal encodes with gob; its AllocFact is exported for importers.
+func Marshal(v any) []byte {
+	var buf bytes.Buffer
+	_ = gob.NewEncoder(&buf).Encode(v)
+	return buf.Bytes()
+}

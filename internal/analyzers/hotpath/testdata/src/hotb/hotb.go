@@ -1,0 +1,11 @@
+// Package hotb closes the cross-package hotpath chain: a root whose
+// only allocation is inside an imported function, reached via the
+// AllocFact exported by package hota.
+package hotb
+
+import "hota"
+
+//hafw:hotpath
+func Send(v any) []byte { // want `Send is marked //hafw:hotpath but calls hota\.Marshal, which encodes with encoding/gob \(reflection and buffer allocation per call\)`
+	return hota.Marshal(v)
+}

@@ -1,0 +1,330 @@
+// Package leakcheck implements the halint pass that finds goroutines and
+// timers with no way to stop. A highly available node runs for months:
+// a goroutine whose loop can never exit, or a ticker that is never
+// stopped, is a slow leak that surfaces as memory growth and scheduler
+// noise long after the PR that introduced it merged. The failure-detector
+// and view-change machinery make heavy use of tickers and background
+// loops, so the framework needs the stop-path discipline enforced, not
+// remembered.
+//
+// Three checks:
+//
+//   - `go` statements whose function (literal or named, same-package or
+//     imported via a ForeverFact) contains a `for` loop with no condition
+//     and no return/break that leaves it: there is no stop path, the
+//     goroutine runs until process exit.
+//   - time.NewTicker / time.NewTimer results that are never stopped and
+//     never escape the function: flagged, with a mechanical
+//     `defer t.Stop()` suggested fix when the creation is not in a loop.
+//   - time.Tick (always leaks its ticker) and time.After inside loops
+//     (leaks one timer per iteration until it fires).
+//
+// Files ending in _test.go are skipped: tests start process-lifetime
+// helpers deliberately and the process is about to exit anyway.
+package leakcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hafw/internal/analysis"
+	"hafw/internal/analyzers/astx"
+)
+
+// Analyzer is the leakcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "leakcheck",
+	Doc:       "checks that goroutines have a stop path (a for loop that can exit) and that tickers/timers are stopped: time.NewTicker without Stop, time.Tick, and time.After in loops are flagged",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*ForeverFact)(nil)},
+}
+
+// ForeverFact marks a function whose body contains a for loop that can
+// never exit; `go`-calling it from another package is a leak.
+type ForeverFact struct {
+	Loops bool
+}
+
+// AFact implements analysis.Fact.
+func (*ForeverFact) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Package).Filename, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+
+	// Pass 1: which named functions loop forever? Their facts serve both
+	// same-package `go` statements and importers.
+	forever := make(map[*types.Func]bool)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if hasInescapableLoop(fd.Body) {
+				forever[fn] = true
+				pass.ExportObjectFact(fn, &ForeverFact{Loops: true})
+			}
+		}
+	}
+
+	// Pass 2: go statements and timer hygiene.
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				checkGo(pass, g, forever)
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkTimers(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkGo reports a `go` statement whose function can never exit.
+func checkGo(pass *analysis.Pass, g *ast.GoStmt, forever map[*types.Func]bool) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if hasInescapableLoop(lit.Body) {
+			pass.Reportf(g.Pos(), "goroutine has no stop path: its for loop can never exit; add a ctx.Done()/closed-channel case that returns")
+		}
+		return
+	}
+	fn := astx.CalleeOf(pass.TypesInfo, g.Call)
+	if fn == nil {
+		return
+	}
+	bad := false
+	name := fn.Name()
+	if fn.Pkg() == pass.Pkg {
+		bad = forever[fn]
+	} else {
+		var fact ForeverFact
+		bad = pass.ImportObjectFact(fn, &fact) && fact.Loops
+		if fn.Pkg() != nil {
+			name = fn.Pkg().Name() + "." + name
+		}
+	}
+	if bad {
+		pass.Reportf(g.Pos(), "goroutine runs %s, which has no stop path (its for loop can never exit); add a ctx.Done()/closed-channel case that returns", name)
+	}
+}
+
+// hasInescapableLoop reports whether the body contains a condition-less
+// for loop that no return, break, or goto ever leaves. Function literals
+// are skipped: their bodies run when called, not where written.
+func hasInescapableLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if fs, ok := n.(*ast.ForStmt); ok && fs.Cond == nil && !escapable(fs) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// escapable reports whether control can leave the given condition-less
+// loop: a return, a goto or labeled break targeting a statement outside
+// the loop, or an unlabeled break binding to the loop itself (not to a
+// nested for/select/switch).
+func escapable(loop *ast.ForStmt) bool {
+	inner := make(map[string]bool) // labels declared inside the loop body
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if ls, ok := n.(*ast.LabeledStmt); ok {
+			inner[ls.Label.Name] = true
+		}
+		return true
+	})
+	esc := false
+	depth := 0 // nesting inside statements that absorb unlabeled break
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if esc {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.ReturnStmt:
+			esc = true
+			return
+		case *ast.BranchStmt:
+			switch n.Tok {
+			case token.BREAK:
+				if n.Label == nil {
+					if depth == 0 {
+						esc = true
+					}
+				} else if !inner[n.Label.Name] {
+					esc = true
+				}
+			case token.GOTO:
+				if n.Label != nil && !inner[n.Label.Name] {
+					esc = true
+				}
+			}
+			return
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			depth++
+			defer func() { depth-- }()
+		}
+		astx.Children(n, walk)
+	}
+	astx.Children(loop.Body, walk)
+	return esc
+}
+
+// checkTimers enforces timer hygiene within one function declaration.
+func checkTimers(pass *analysis.Pass, fd *ast.FuncDecl) {
+	type span struct{ pos, end token.Pos }
+	var loops []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, span{n.Pos(), n.End()})
+		}
+		return true
+	})
+	inLoop := func(p token.Pos) bool {
+		for _, s := range loops {
+			if p >= s.pos && p < s.end {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := astx.CalleeOf(pass.TypesInfo, call)
+		if fn == nil || astx.PkgPath(fn) != "time" {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true // a method such as (time.Time).After, not the package function
+		}
+		switch fn.Name() {
+		case "Tick":
+			pass.Reportf(call.Pos(), "time.Tick leaks its ticker (it can never be stopped); use time.NewTicker with defer Stop")
+		case "After":
+			if inLoop(call.Pos()) {
+				pass.Reportf(call.Pos(), "time.After in a loop leaks a timer per iteration until it fires; use one time.NewTimer and Stop it when done")
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := astx.CalleeOf(pass.TypesInfo, call)
+		if fn == nil || astx.PkgPath(fn) != "time" {
+			return true
+		}
+		kind := fn.Name()
+		if kind != "NewTicker" && kind != "NewTimer" {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			return true
+		}
+		stopped, escapes := timerUses(pass, fd, obj)
+		if stopped || escapes {
+			return true
+		}
+		word := "ticker"
+		if kind == "NewTimer" {
+			word = "timer"
+		}
+		d := analysis.Diagnostic{
+			Pos:     as.Pos(),
+			Message: fmt.Sprintf("time.%s result %s is never stopped; the %s leaks — add defer %s.Stop()", kind, id.Name, word, id.Name),
+		}
+		// The defer fix is only mechanical outside loops: a defer inside a
+		// loop piles up until the function returns.
+		if !inLoop(as.Pos()) {
+			d.SuggestedFixes = []analysis.SuggestedFix{{
+				Message: fmt.Sprintf("stop %s when the function returns", id.Name),
+				TextEdits: []analysis.TextEdit{{
+					Pos:     as.End(),
+					End:     as.End(),
+					NewText: []byte(astx.Indent(pass.Fset, as.Pos()) + "defer " + id.Name + ".Stop()"),
+				}},
+			}}
+		}
+		pass.Report(d)
+		return true
+	})
+}
+
+// timerUses classifies every use of a ticker/timer variable in the
+// declaration: selector uses (t.Stop, t.Reset, t.C) are safe and a Stop
+// marks it stopped; any bare use (returned, passed, stored, address
+// taken) means the value escapes and its lifetime is someone else's
+// responsibility.
+func timerUses(pass *analysis.Pass, fd *ast.FuncDecl, obj types.Object) (stopped, escapes bool) {
+	viaSelector := make(map[*ast.Ident]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		x, ok := sel.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[x] != obj {
+			return true
+		}
+		viaSelector[x] = true
+		if sel.Sel.Name == "Stop" {
+			stopped = true
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pass.TypesInfo.Uses[id] == obj && !viaSelector[id] {
+			escapes = true
+		}
+		return true
+	})
+	return stopped, escapes
+}

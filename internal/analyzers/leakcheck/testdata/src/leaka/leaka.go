@@ -1,0 +1,18 @@
+// Package leaka is the dependency half of the cross-package leakcheck
+// fixture: Forever loops with no exit, and the fact travels to importers.
+package leaka
+
+import "time"
+
+// Forever never returns; go-calling it from anywhere is a leak.
+func Forever() {
+	for {
+		time.Sleep(time.Second)
+	}
+}
+
+// Pump drains the channel and exits when it closes: safe to go-call.
+func Pump(ch chan int) {
+	for range ch {
+	}
+}

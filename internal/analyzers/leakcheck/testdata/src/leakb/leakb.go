@@ -1,0 +1,10 @@
+// Package leakb go-calls imported functions; leaka.Forever's ForeverFact
+// makes the leak visible across the package boundary.
+package leakb
+
+import "leaka"
+
+func Start(ch chan int) {
+	go leaka.Forever() // want `goroutine runs leaka\.Forever, which has no stop path \(its for loop can never exit\); add a ctx\.Done\(\)/closed-channel case that returns`
+	go leaka.Pump(ch)
+}

@@ -1,0 +1,24 @@
+// Package leakfix exercises the defer-Stop suggested fix.
+package leakfix
+
+import "time"
+
+func tick(d time.Duration, ch chan int) {
+	t := time.NewTicker(d) // want `time\.NewTicker result t is never stopped; the ticker leaks — add defer t\.Stop\(\)`
+	for {
+		select {
+		case <-t.C:
+		case <-ch:
+			return
+		}
+	}
+}
+
+// inLoop creates the ticker inside a loop: flagged, but a defer there
+// would pile up, so no mechanical fix is offered.
+func inLoop(ds []time.Duration) {
+	for _, d := range ds {
+		t := time.NewTicker(d) // want `time\.NewTicker result t is never stopped; the ticker leaks — add defer t\.Stop\(\)`
+		<-t.C
+	}
+}

@@ -1,0 +1,524 @@
+// Package lockorder implements the halint pass that detects potential
+// lock-order deadlocks. Where lockcheck polices single-function locking
+// hygiene (release on every path, no blocking under a mutex), lockorder
+// builds a global lock-acquisition graph: an edge A → B means some code
+// path acquires mutex B while holding mutex A. Two paths that acquire the
+// same pair of mutexes in opposite orders can deadlock under concurrency
+// even though each path is individually correct — the classic bug class a
+// data-path refactor (batching, sharded sequencing) introduces, and one
+// that -race does not reliably catch because it requires the interleaving
+// to actually occur.
+//
+// Mutex identity is package-scoped and type-scoped: a mutex field is named
+// by the struct type that declares it ("pkg.(Type).field"), a package-level
+// mutex by its variable name ("pkg.var"). Two instances of the same struct
+// therefore share one graph node; that is deliberate — the codebase's lock
+// hierarchy (DESIGN.md "Lock hierarchy") is defined over types, and
+// self-edges on a type-level node are reported as potential self-deadlock.
+//
+// The analysis is interprocedural: each function's transitively acquired
+// lock set is exported as an object fact, so a call made while holding a
+// mutex contributes edges to everything the callee (even in another
+// package) may acquire. Per-package edge lists are folded forward through
+// package facts, and each package reports any cycle that one of its own
+// edges completes, with a concrete witness path.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"hafw/internal/analysis"
+	"hafw/internal/analyzers/astx"
+	"hafw/internal/analyzers/flow"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "builds the global lock-acquisition graph across packages and reports lock-order cycles (potential deadlocks) with a witness path",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*AcquiresFact)(nil), (*GraphFact)(nil)},
+}
+
+// AcquiresFact records the set of mutexes a function may acquire,
+// directly or through its static callees.
+type AcquiresFact struct {
+	Locks []string
+}
+
+// AFact implements analysis.Fact.
+func (*AcquiresFact) AFact() {}
+
+// Edge is one arc of the lock-acquisition graph: To was acquired while
+// From was held, at Pos (file:line) inside function Via.
+type Edge struct {
+	From, To string
+	Pos      string
+	Via      string
+}
+
+// GraphFact is the package fact carrying every acquisition edge visible
+// at this package: its own plus those folded in from its dependencies.
+type GraphFact struct {
+	Edges []Edge
+}
+
+// AFact implements analysis.Fact.
+func (*GraphFact) AFact() {}
+
+// funcInfo is the per-function analysis state.
+type funcInfo struct {
+	fn       *types.Func
+	body     *ast.BlockStmt
+	acquires map[string]bool // transitively acquired lock identities
+	calls    []*types.Func   // same-package static callees
+}
+
+func run(pass *analysis.Pass) error {
+	var infos []*funcInfo
+	byFunc := make(map[*types.Func]*funcInfo)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			info := &funcInfo{fn: fn, body: fd.Body, acquires: make(map[string]bool)}
+			collect(pass, fd.Body, info)
+			infos = append(infos, info)
+			byFunc[fn] = info
+		}
+	}
+
+	// Fixpoint: fold same-package callees' acquire sets into each
+	// function until nothing changes (cross-package callees were resolved
+	// through facts during collect).
+	for changed := true; changed; {
+		changed = false
+		for _, info := range infos {
+			for _, callee := range info.calls {
+				c, ok := byFunc[callee]
+				if !ok {
+					continue
+				}
+				for l := range c.acquires {
+					if !info.acquires[l] {
+						info.acquires[l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, info := range infos {
+		if len(info.acquires) > 0 {
+			pass.ExportObjectFact(info.fn, &AcquiresFact{Locks: sortedKeys(info.acquires)})
+		}
+	}
+
+	// Second pass: walk each function with the held-lock state, emitting
+	// edges for direct acquisitions and for calls into lock-acquiring
+	// callees.
+	var own []Edge
+	seenEdge := make(map[string]bool)
+	addEdge := func(e Edge) {
+		key := e.From + "\x00" + e.To
+		if seenEdge[key] {
+			return
+		}
+		seenEdge[key] = true
+		own = append(own, e)
+	}
+	for _, info := range infos {
+		walkEdges(pass, info, byFunc, addEdge)
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fl, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			// Function literals (goroutine bodies, callbacks) contribute
+			// edges but no facts: they have no addressable object.
+			lit := &funcInfo{body: fl.Body, acquires: make(map[string]bool)}
+			walkEdges(pass, lit, byFunc, addEdge)
+			return true
+		})
+	}
+
+	// Fold in the graphs of every direct import; each import already
+	// folded its own dependencies, so the union is transitive.
+	merged := append([]Edge(nil), own...)
+	for _, imp := range pass.Pkg.Imports() {
+		var g GraphFact
+		if !pass.ImportPackageFact(imp, &g) {
+			continue
+		}
+		for _, e := range g.Edges {
+			key := e.From + "\x00" + e.To
+			if !seenEdge[key] {
+				seenEdge[key] = true
+				merged = append(merged, e)
+			}
+		}
+	}
+	pass.ExportPackageFact(&GraphFact{Edges: merged})
+
+	reportCycles(pass, own, merged)
+	return nil
+}
+
+// collect gathers a function's direct lock acquisitions and call edges
+// (pass 1). Synchronously-called function literals are included: a lock
+// acquired in a nested literal is still an acquisition this function's
+// callers may reach. `go` statements are excluded — the spawned goroutine
+// starts with an empty held-set, so its acquisitions are not the
+// caller's (its literal body, or the named callee, contributes edges on
+// its own).
+func collect(pass *analysis.Pass, body *ast.BlockStmt, info *funcInfo) {
+	goCalls, goLits := goSpawned(body)
+	seen := make(map[*types.Func]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && goLits[fl] {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if goCalls[call] {
+			return true // arguments still evaluate synchronously: descend
+		}
+		if fn := mutexMethod(pass, call); fn != nil {
+			if isAcquire(fn.Name()) {
+				if id := LockIdentity(pass, call); id != "" {
+					info.acquires[id] = true
+				}
+			}
+			return true
+		}
+		fn := astx.CalleeOf(pass.TypesInfo, call)
+		if fn == nil || seen[fn] {
+			return true
+		}
+		seen[fn] = true
+		if rt := recvType(fn); rt != nil && types.IsInterface(rt) {
+			return true // dynamic dispatch: unresolvable statically
+		}
+		if fn.Pkg() == pass.Pkg {
+			info.calls = append(info.calls, fn)
+			return true
+		}
+		var acq AcquiresFact
+		if pass.ImportObjectFact(fn, &acq) {
+			for _, l := range acq.Locks {
+				info.acquires[l] = true
+			}
+		}
+		return true
+	})
+}
+
+// walkEdges interprets one function body with the held-lock state and
+// emits acquisition-order edges (pass 2).
+func walkEdges(pass *analysis.Pass, info *funcInfo, byFunc map[*types.Func]*funcInfo, addEdge func(Edge)) {
+	name := "a function literal"
+	if info.fn != nil {
+		name = info.fn.Name()
+	}
+	goCalls, _ := goSpawned(info.body)
+	reportedSelf := make(map[token.Pos]bool)
+	flow.Walk(info.body, flow.Hooks{
+		OnExit: func(ast.Node, flow.State) {},
+		OnAtom: func(n ast.Node, st flow.State) {
+			astx.InspectNoFuncLit(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if goCalls[call] {
+					return true // runs on a fresh goroutine: no held locks
+				}
+				if fn := mutexMethod(pass, call); fn != nil {
+					id := LockIdentity(pass, call)
+					if id == "" {
+						return true
+					}
+					switch {
+					case isAcquire(fn.Name()):
+						for held := range st {
+							if held == id {
+								if !reportedSelf[call.Pos()] {
+									reportedSelf[call.Pos()] = true
+									pass.Reportf(call.Pos(),
+										"%s acquires %s while already holding it (acquired at %s); a re-entrant acquisition self-deadlocks, and two instances locked without a canonical order can deadlock against each other",
+										name, id, st[held].Data.(string))
+								}
+								continue
+							}
+							addEdge(Edge{
+								From: held,
+								To:   id,
+								Pos:  pass.Fset.Position(call.Pos()).String(),
+								Via:  name,
+							})
+						}
+						st[id] = flow.Hold{Level: flow.Definitely, Data: pass.Fset.Position(call.Pos()).String()}
+					case isRelease(fn.Name()):
+						if _, ok := n.(*ast.DeferStmt); ok {
+							// Deferred release: held until return, so later
+							// acquisitions still order after this one.
+							if h, ok := st[id]; ok {
+								h.Deferred = true
+								st[id] = h
+							}
+						} else {
+							delete(st, id)
+						}
+					}
+					return true
+				}
+				callee := astx.CalleeOf(pass.TypesInfo, call)
+				if callee == nil || len(st) == 0 {
+					return true
+				}
+				if rt := recvType(callee); rt != nil && types.IsInterface(rt) {
+					return true
+				}
+				var locks []string
+				if callee.Pkg() == pass.Pkg {
+					if ci, ok := byFunc[callee]; ok {
+						locks = sortedKeys(ci.acquires)
+					}
+				} else {
+					var acq AcquiresFact
+					if pass.ImportObjectFact(callee, &acq) {
+						locks = acq.Locks
+					}
+				}
+				pos := pass.Fset.Position(call.Pos()).String()
+				for _, l := range locks {
+					for held := range st {
+						if held == l {
+							if !reportedSelf[call.Pos()] {
+								reportedSelf[call.Pos()] = true
+								pass.Reportf(call.Pos(),
+									"%s calls %s, which may acquire %s, while holding it (acquired at %s); sync mutexes are not reentrant",
+									name, callee.Name(), l, st[held].Data.(string))
+							}
+							continue
+						}
+						addEdge(Edge{From: held, To: l, Pos: pos, Via: name + " → " + callee.Name()})
+					}
+				}
+				return true
+			})
+		},
+	})
+}
+
+// goSpawned indexes the call expressions (and literal callees) of every
+// `go` statement in a body, so lock analysis can treat them as starting
+// with an empty held-set.
+func goSpawned(body *ast.BlockStmt) (map[*ast.CallExpr]bool, map[*ast.FuncLit]bool) {
+	calls := make(map[*ast.CallExpr]bool)
+	lits := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			calls[g.Call] = true
+			if fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				lits[fl] = true
+			}
+		}
+		return true
+	})
+	return calls, lits
+}
+
+// reportCycles finds cycles in the merged graph that an edge of this
+// package completes, and reports one witness per cycle node set.
+func reportCycles(pass *analysis.Pass, own, merged []Edge) {
+	adj := make(map[string][]Edge)
+	for _, e := range merged {
+		adj[e.From] = append(adj[e.From], e)
+	}
+	for from := range adj {
+		sort.Slice(adj[from], func(i, j int) bool { return adj[from][i].To < adj[from][j].To })
+	}
+	reported := make(map[string]bool)
+	for _, e := range own {
+		path := findPath(adj, e.To, e.From)
+		if path == nil {
+			continue
+		}
+		cycle := append([]Edge{e}, path...)
+		var nodes []string
+		for _, c := range cycle {
+			nodes = append(nodes, c.From)
+		}
+		sort.Strings(nodes)
+		key := strings.Join(nodes, "→")
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		var b strings.Builder
+		fmt.Fprintf(&b, "lock-order cycle (potential deadlock): %s → %s in %s", e.From, e.To, e.Via)
+		for _, c := range path {
+			fmt.Fprintf(&b, "; %s → %s in %s (%s)", c.From, c.To, c.Via, c.Pos)
+		}
+		pass.Reportf(edgeTokenPos(pass, e), "%s", b.String())
+	}
+}
+
+// edgeTokenPos recovers a token.Pos for an own-package edge from its
+// recorded position string, so the diagnostic lands on the acquiring line.
+func edgeTokenPos(pass *analysis.Pass, e Edge) token.Pos {
+	want := e.Pos
+	var found token.Pos
+	for _, file := range pass.Files {
+		tf := pass.Fset.File(file.Pos())
+		if tf == nil {
+			continue
+		}
+		if !strings.HasPrefix(want, tf.Name()+":") {
+			continue
+		}
+		var line, col int
+		if _, err := fmt.Sscanf(want[len(tf.Name())+1:], "%d:%d", &line, &col); err != nil || line < 1 || line > tf.LineCount() {
+			continue
+		}
+		found = tf.LineStart(line)
+		break
+	}
+	if !found.IsValid() && len(pass.Files) > 0 {
+		return pass.Files[0].Pos()
+	}
+	return found
+}
+
+// findPath searches the graph for a path from → to, returning its edges.
+func findPath(adj map[string][]Edge, from, to string) []Edge {
+	visited := map[string]bool{from: true}
+	var dfs func(node string) []Edge
+	dfs = func(node string) []Edge {
+		for _, e := range adj[node] {
+			if e.To == to {
+				return []Edge{e}
+			}
+			if visited[e.To] {
+				continue
+			}
+			visited[e.To] = true
+			if rest := dfs(e.To); rest != nil {
+				return append([]Edge{e}, rest...)
+			}
+		}
+		return nil
+	}
+	return dfs(from)
+}
+
+// LockIdentity names the mutex operated on by a sync.Mutex/RWMutex method
+// call, scoped to the type or package that declares it: a struct field
+// becomes "pkg.(Type).field", a package-level variable "pkg.var", an
+// embedded mutex "pkg.(Type)". Locals and unresolvable receivers return
+// "" (untracked: a mutex that never outlives one call cannot participate
+// in a cross-goroutine cycle).
+func LockIdentity(pass *analysis.Pass, call *ast.CallExpr) string {
+	recv := astx.RecvOf(call)
+	if recv == nil {
+		return ""
+	}
+	switch r := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		// x.mu: name the field by its declaring struct's type.
+		if sel, ok := pass.TypesInfo.Selections[r]; ok && sel.Kind() == types.FieldVal {
+			owner := namedOf(sel.Recv())
+			if owner == nil || owner.Obj().Pkg() == nil {
+				return ""
+			}
+			return owner.Obj().Pkg().Path() + ".(" + owner.Obj().Name() + ")." + r.Sel.Name
+		}
+		// pkg.Mu: a package-qualified variable.
+		if obj, ok := pass.TypesInfo.Uses[r.Sel].(*types.Var); ok && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return ""
+	case *ast.Ident:
+		obj, ok := pass.TypesInfo.Uses[r].(*types.Var)
+		if !ok || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		// A local whose type embeds the mutex still identifies the type;
+		// a bare local sync.Mutex stays untracked (it cannot outlive the
+		// function, so it cannot participate in a cross-goroutine cycle).
+		if named := namedOf(obj.Type()); named != nil && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+			if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+				return named.Obj().Pkg().Path() + ".(" + named.Obj().Name() + ")"
+			}
+		}
+		return ""
+	}
+	return ""
+}
+
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func isAcquire(name string) bool { return name == "Lock" || name == "RLock" }
+func isRelease(name string) bool { return name == "Unlock" || name == "RUnlock" }
+
+// mutexMethod resolves a call to a sync.Mutex/RWMutex method (directly or
+// through an embedded field), or nil.
+func mutexMethod(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	fn := astx.CalleeOf(pass.TypesInfo, call)
+	if fn == nil {
+		return nil
+	}
+	named := astx.RecvNamed(fn)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return nil
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return fn
+	}
+	return nil
+}
+
+func recvType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"hafw/internal/analysis/analysistest"
+	"hafw/internal/analyzers/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "order")
+}
+
+func TestCrossPackageCycle(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "cyca", "cycb")
+}

@@ -1,0 +1,33 @@
+// Package cyca is the dependency half of the cross-package lock-order
+// cycle fixture: it owns both mutex-bearing types and establishes the
+// A → B acquisition edge. The importing package cycb closes the cycle.
+package cyca
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	Mu sync.Mutex
+	N  int
+}
+
+// Touch acquires A's mutex; its acquire set travels to importers as an
+// object fact.
+func (a *A) Touch() {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+// Both acquires B while holding A: the edge A → B.
+func Both(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.Mu.Lock()
+	b.N++
+	b.Mu.Unlock()
+}

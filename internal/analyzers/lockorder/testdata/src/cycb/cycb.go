@@ -1,0 +1,13 @@
+// Package cycb closes the lock-order cycle started in cyca: it acquires
+// cyca.A's mutex (through the exported Touch method, whose acquire set
+// arrives as a fact) while holding cyca.B's — the reverse of cyca.Both.
+package cycb
+
+import "cyca"
+
+func Reverse(a *cyca.A, b *cyca.B) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	a.Touch() // want `lock-order cycle \(potential deadlock\): cyca\.\(B\)\.Mu → cyca\.\(A\)\.mu in Reverse → Touch`
+	b.N++
+}

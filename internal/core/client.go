@@ -11,6 +11,7 @@ import (
 	"hafw/internal/metrics"
 	"hafw/internal/obs"
 	"hafw/internal/transport"
+	"hafw/internal/waitx"
 	"hafw/internal/wire"
 )
 
@@ -237,10 +238,8 @@ func (c *Client) ListUnits() ([]UnitInfo, error) {
 			c.reg.Counter(mSendErrors).Inc()
 			return nil, err
 		}
-		select {
-		case ul := <-ch:
+		if ul, ok := waitx.Recv(ch, c.cfg.RequestTimeout); ok {
 			return ul.Units, nil
-		case <-time.After(c.cfg.RequestTimeout):
 		}
 	}
 	c.reg.Counter(mTimeouts).Inc()
@@ -290,8 +289,7 @@ func (c *Client) StartSession(unit ids.UnitName, h ResponseHandler) (*ClientSess
 			c.reg.Counter(mSendErrors).Inc()
 			return nil, fmt.Errorf("start session on %s: %w", unit, err)
 		}
-		select {
-		case st := <-ch:
+		if st, ok := waitx.Recv(ch, c.cfg.RequestTimeout); ok {
 			sess := &ClientSession{
 				c:     c,
 				ID:    st.Session,
@@ -303,9 +301,8 @@ func (c *Client) StartSession(unit ids.UnitName, h ResponseHandler) (*ClientSess
 			c.sessions[st.Session] = sess
 			c.mu.Unlock()
 			return sess, nil
-		case <-time.After(c.cfg.RequestTimeout):
-			c.dropStartWaiter(unit, ch)
 		}
+		c.dropStartWaiter(unit, ch)
 	}
 	c.reg.Counter(mTimeouts).Inc()
 	return nil, fmt.Errorf("%w: StartSession(%s)", ErrTimeout, unit)
@@ -344,6 +341,10 @@ type ClientSession struct {
 	h  ResponseHandler
 }
 
+// deliver hands one response to the session handler; it runs once per
+// inbound response.
+//
+//hafw:hotpath
 func (s *ClientSession) deliver(seq uint64, body wire.Message) {
 	s.mu.Lock()
 	h := s.h
@@ -391,13 +392,11 @@ func (s *ClientSession) End() error {
 			s.c.reg.Counter(mSendErrors).Inc()
 			break
 		}
-		select {
-		case <-ch:
+		if _, ok := waitx.Recv(ch, s.c.cfg.RequestTimeout); ok {
 			err = nil
 			goto done
-		case <-time.After(s.c.cfg.RequestTimeout):
-			err = fmt.Errorf("%w: EndSession(%d)", ErrTimeout, s.ID)
 		}
+		err = fmt.Errorf("%w: EndSession(%d)", ErrTimeout, s.ID)
 	}
 	if err != nil && errors.Is(err, ErrTimeout) {
 		s.c.reg.Counter(mTimeouts).Inc()

@@ -20,7 +20,10 @@ type CounterIncr struct{}
 // WireName implements wire.Message.
 func (CounterIncr) WireName() string { return "exp.CounterIncr" }
 
-// CounterValue is the E10 command result.
+// CounterValue is the E10 command result. It rides inside the RSM reply
+// envelope's typed Result field rather than being dispatched on its own.
+//
+//hafw:handledby -
 type CounterValue struct {
 	// N is the counter after the increment.
 	N uint64

@@ -19,7 +19,10 @@ import (
 	"hafw/internal/wire"
 )
 
-// Heartbeat is the liveness probe message.
+// Heartbeat is the liveness probe message. It is demultiplexed by the
+// gcs process router, not by this package.
+//
+//hafw:handledby hafw/internal/gcs
 type Heartbeat struct{}
 
 // WireName implements wire.Message.
@@ -167,7 +170,9 @@ func (d *Detector) Peers() []ids.ProcessID {
 
 // Observe records that a message (of any protocol) was heard from p. Every
 // inbound envelope from a process should be funneled here so that busy
-// links never false-suspect.
+// links never false-suspect — which also makes it a per-message hot path.
+//
+//hafw:hotpath
 func (d *Detector) Observe(p ids.ProcessID) {
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -9,6 +9,7 @@ import (
 	"hafw/internal/ids"
 	"hafw/internal/transport"
 	"hafw/internal/vsync"
+	"hafw/internal/waitx"
 	"hafw/internal/wire"
 )
 
@@ -134,12 +135,10 @@ func (c *Client) Resolve(g ids.GroupName) ([]ids.ProcessID, error) {
 		c.waiters[g] = append(c.waiters[g], ch)
 		c.mu.Unlock()
 		_ = c.tr.Send(ids.ProcessEndpoint(s), vsync.Resolve{Group: g})
-		select {
-		case members := <-ch:
+		if members, ok := waitx.Recv(ch, c.cfg.ResolveTimeout); ok {
 			return members, nil
-		case <-time.After(c.cfg.ResolveTimeout):
-			c.dropWaiter(g, ch)
 		}
+		c.dropWaiter(g, ch)
 	}
 	return nil, fmt.Errorf("%w: %s", ErrNoServers, g)
 }

@@ -214,15 +214,8 @@ loop:
 			d.send(sess)
 		default: // closed loop
 			p := d.send(sess)
-			if p != nil {
-				select {
-				case <-p.done:
-				case <-time.After(d.w.ReqTimeout):
-					// Slow, not yet lost: the echo may still arrive and
-					// record its true latency; session drain settles it.
-				case <-stop:
-					break loop
-				}
+			if p != nil && !awaitOrStop(p.done, d.w.ReqTimeout, stop) {
+				break loop
 			}
 			if !sleepOrStop(d.smp.think(), stop) {
 				break loop
@@ -276,6 +269,21 @@ func (d *driver) drain() {
 	d.pending = make(map[uint64]*pendingReq)
 	d.mu.Unlock()
 	d.rec.unanswered.Add(lost)
+}
+
+// awaitOrStop waits for done with a stoppable deadline timer; it returns
+// false if stop fired first. A deadline expiry is not a loss: the echo
+// may still arrive and record its true latency; session drain settles it.
+func awaitOrStop(done <-chan struct{}, dur time.Duration, stop <-chan struct{}) bool {
+	t := time.NewTimer(dur)
+	defer t.Stop()
+	select {
+	case <-done:
+	case <-t.C:
+	case <-stop:
+		return false
+	}
+	return true
 }
 
 // sleepOrStop sleeps for dur; it returns false if stop fired first.

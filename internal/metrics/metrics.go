@@ -19,9 +19,13 @@ type Counter struct {
 }
 
 // Inc adds 1.
+//
+//hafw:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//hafw:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -98,7 +102,10 @@ func bucketBounds(i int) (lo, hi time.Duration) {
 	return octLo + time.Duration(sub)*w, octLo + time.Duration(sub+1)*w
 }
 
-// Observe records one duration.
+// Observe records one duration. It sits on every request's latency
+// accounting path, so it must stay allocation-free.
+//
+//hafw:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
 	defer h.mu.Unlock()

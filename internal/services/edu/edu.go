@@ -169,7 +169,10 @@ func (Next) WireName() string { return "edu.Next" }
 
 // --- responses ---
 
-// Content delivers one learning object.
+// Content delivers one learning object. Responses travel server →
+// client; the example client consumes them.
+//
+//hafw:handledby hafw/examples/education
 type Content struct {
 	// Object is the delivered object.
 	Object Object
@@ -181,6 +184,8 @@ type Content struct {
 func (Content) WireName() string { return "edu.Content" }
 
 // QuizResult reports a graded answer.
+//
+//hafw:handledby hafw/examples/education
 type QuizResult struct {
 	// Quiz is the quiz object ID.
 	Quiz int
@@ -194,6 +199,8 @@ type QuizResult struct {
 func (QuizResult) WireName() string { return "edu.QuizResult" }
 
 // Done signals the end of the syllabus.
+//
+//hafw:handledby hafw/examples/education
 type Done struct{}
 
 // WireName implements wire.Message.

@@ -111,7 +111,10 @@ func (Intersect) WireName() string { return "search.Intersect" }
 
 // --- response ---
 
-// ResultSet reports one query's results.
+// ResultSet reports one query's results. It travels server → client;
+// the example client consumes it.
+//
+//hafw:handledby hafw/examples/search
 type ResultSet struct {
 	// Index is the 1-based position of this result set in the session
 	// context (later queries can refine it).

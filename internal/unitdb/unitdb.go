@@ -425,7 +425,10 @@ func (db *DB) ReallocateBalanced(members []ids.ProcessID, backups int) []Change 
 
 // Snapshot is a serializable copy of the database, used for join-time
 // state exchange (paper Section 3.4: "servers first exchange information
-// about clients").
+// about clients"). It rides inside core.StateDelta's typed Snap field
+// rather than being dispatched on its own.
+//
+//hafw:handledby -
 type Snapshot struct {
 	// Unit names the content unit.
 	Unit ids.UnitName

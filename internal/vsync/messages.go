@@ -168,7 +168,10 @@ type Resolve struct {
 // WireName implements wire.Message.
 func (Resolve) WireName() string { return "vsync.Resolve" }
 
-// ResolveReply answers Resolve with the server's current knowledge.
+// ResolveReply answers Resolve with the server's current knowledge. It
+// travels server → client, so the handler lives in the gcs client.
+//
+//hafw:handledby hafw/internal/gcs
 type ResolveReply struct {
 	// Group echoes the request.
 	Group ids.GroupName

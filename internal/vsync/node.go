@@ -550,7 +550,10 @@ func (n *Node) drainLocked() {
 	}
 }
 
-// deliverSeqLocked delivers one sequenced message at this member.
+// deliverSeqLocked delivers one sequenced message at this member. It runs
+// once per multicast per destination — the framework's busiest path.
+//
+//hafw:hotpath
 func (n *Node) deliverSeqLocked(sd SeqData) {
 	g := n.grp[sd.Group]
 	if g == nil {

@@ -1,0 +1,26 @@
+// Package waitx provides a stoppable-timer channel wait. The naive
+//
+//	select { ... case <-time.After(d): }
+//
+// inside a retry loop leaks one timer per iteration until it fires —
+// halint's leakcheck flags that form. Recv stops its deadline timer as
+// soon as the wait resolves, so retry loops allocate nothing that
+// outlives them.
+package waitx
+
+import "time"
+
+// Recv receives one value from ch, giving up after d. The deadline timer
+// is stopped on return instead of lingering until it fires. A closed
+// channel yields its zero value with ok=true, exactly as a direct
+// receive would.
+func Recv[T any](ch <-chan T, d time.Duration) (v T, ok bool) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case v = <-ch:
+		return v, true
+	case <-t.C:
+		return v, false
+	}
+}

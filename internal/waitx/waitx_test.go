@@ -1,0 +1,37 @@
+package waitx
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRecvValue(t *testing.T) {
+	ch := make(chan int, 1)
+	ch <- 42
+	v, ok := Recv(ch, time.Second)
+	if !ok || v != 42 {
+		t.Fatalf("Recv = %d, %v; want 42, true", v, ok)
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	ch := make(chan int)
+	start := time.Now()
+	v, ok := Recv(ch, 10*time.Millisecond)
+	if ok || v != 0 {
+		t.Fatalf("Recv = %d, %v; want 0, false", v, ok)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("Recv returned before the deadline")
+	}
+}
+
+// TestRecvClosed pins the closed-channel contract: ok=true with the zero
+// value, matching a direct receive (EndSession waiters rely on this).
+func TestRecvClosed(t *testing.T) {
+	ch := make(chan struct{})
+	close(ch)
+	if _, ok := Recv(ch, time.Second); !ok {
+		t.Fatal("Recv from closed channel reported a timeout")
+	}
+}

@@ -212,12 +212,16 @@ const maxPooledBuffer = 4 << 20
 var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // GetBuffer returns an empty scratch buffer from the shared encode pool.
+//
+//hafw:hotpath
 func GetBuffer() *bytes.Buffer {
 	return bufPool.Get().(*bytes.Buffer)
 }
 
 // PutBuffer returns a buffer obtained from GetBuffer to the pool. The
 // caller must not retain any slice aliasing the buffer's contents.
+//
+//hafw:hotpath
 func PutBuffer(b *bytes.Buffer) {
 	if b == nil || b.Cap() > maxPooledBuffer {
 		return
