@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "experiment ID (E1..E17) or \"all\"")
+		which = flag.String("exp", "all", "experiment ID (E1..E18) or \"all\"")
 		quick = flag.Bool("quick", false, "use reduced trial counts")
 		list  = flag.Bool("list", false, "list experiments and exit")
 	)

@@ -20,6 +20,7 @@ import (
 	"hafw/internal/core"
 	"hafw/internal/ids"
 	"hafw/internal/transport/memnet"
+	"hafw/internal/waitx"
 	"hafw/internal/wire"
 )
 
@@ -216,17 +217,15 @@ func main() {
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		must(sess.Send(Greet{}))
-		select {
-		case g := <-greetings:
+		if g, ok := waitx.Recv(greetings, 300*time.Millisecond); ok {
 			fmt.Printf("▸ got after failover: %q\n", g.Text)
 			fmt.Println("▸ the name survived (backup context) and the count resumed (propagated context)")
 			must(sess.End())
 			fmt.Println("▸ session ended cleanly — quickstart complete")
 			return
-		case <-time.After(300 * time.Millisecond):
-			if time.Now().After(deadline) {
-				log.Fatal("failover never completed")
-			}
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("failover never completed")
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"hafw/internal/ids"
 	"hafw/internal/services/search"
 	"hafw/internal/transport/memnet"
+	"hafw/internal/waitx"
 	"hafw/internal/wire"
 )
 
@@ -84,17 +85,15 @@ func main() {
 			if err := sess.Send(m); err != nil {
 				log.Fatal(err)
 			}
-			select {
-			case rs := <-results:
+			if rs, ok := waitx.Recv(results, 500*time.Millisecond); ok {
 				fmt.Printf("▸ %s → result set #%d with %d documents\n", what, rs.Index, len(rs.DocIDs))
 				return rs
-			case <-time.After(500 * time.Millisecond):
-				if time.Now().After(deadline) {
-					log.Fatalf("no answer to %s", what)
-				}
-				// Retry: the service may be mid-failover; duplicates are
-				// new queries, which only extends the history.
 			}
+			if time.Now().After(deadline) {
+				log.Fatalf("no answer to %s", what)
+			}
+			// Retry: the service may be mid-failover; duplicates are new
+			// queries, which only extends the history.
 		}
 	}
 

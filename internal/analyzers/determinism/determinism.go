@@ -14,6 +14,14 @@
 // impurity through static calls (transitively across packages via object
 // facts), and reports each annotated root whose call graph reaches an
 // impure function, with the offending chain.
+//
+// The pass also enforces the simulator's virtual-clock contract: a
+// package whose package comment carries `//hafw:simclock` declares that
+// all of its time flows through an injected clock.Clock, so any direct
+// call to the time package's clock or timer constructors in non-test
+// files is reported. Without this check a single stray time.After would
+// silently desynchronize the discrete-event harness from the code under
+// test.
 package determinism
 
 import (
@@ -22,6 +30,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 
 	"hafw/internal/analysis"
 	"hafw/internal/analyzers/astx"
@@ -30,10 +39,16 @@ import (
 // Directive marks a function whose call graph must be deterministic.
 const Directive = "//hafw:deterministic"
 
+// PackageDirective marks a clock-injected package: every timer and
+// wall-clock read must go through the clock.Clock the package was
+// constructed with, never the time package directly, so the simulator's
+// virtual clock controls all of its scheduling.
+const PackageDirective = "//hafw:simclock"
+
 // Analyzer is the determinism pass.
 var Analyzer = &analysis.Analyzer{
 	Name:      "determinism",
-	Doc:       "checks that //hafw:deterministic functions (and everything they call) avoid clocks, randomness, map-order-dependent output, environment reads, and goroutine spawns",
+	Doc:       "checks that //hafw:deterministic functions (and everything they call) avoid clocks, randomness, map-order-dependent output, environment reads, and goroutine spawns; and that //hafw:simclock packages never call the time package's clocks or timers directly",
 	Run:       run,
 	FactTypes: []analysis.Fact{(*ImpureFact)(nil)},
 }
@@ -84,7 +99,23 @@ type funcInfo struct {
 	fix *analysis.SuggestedFix
 }
 
+// clockBypass lists the time-package functions that read the wall clock
+// or start real timers — exactly what an injected clock.Clock abstracts.
+// Pure-value helpers (ParseDuration, Unix, Date) stay allowed.
+var clockBypass = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "blocks on the real clock",
+	"After":     "starts a real timer",
+	"AfterFunc": "starts a real timer",
+	"NewTimer":  "starts a real timer",
+	"NewTicker": "starts a real ticker",
+	"Tick":      "starts a real ticker",
+}
+
 func run(pass *analysis.Pass) error {
+	checkSimClock(pass)
 	infos := make(map[*types.Func]*funcInfo)
 	var order []*types.Func
 
@@ -144,6 +175,47 @@ func run(pass *analysis.Pass) error {
 		}
 	}
 	return nil
+}
+
+// checkSimClock reports direct time-package clock and timer calls in a
+// package whose package comment carries //hafw:simclock. The directive
+// may sit on any one file's package doc (conventionally the package's
+// main file) and covers the whole package. Test files are exempt: tests
+// drive both real and virtual clocks by design.
+func checkSimClock(pass *analysis.Pass) {
+	annotated := false
+	for _, file := range pass.Files {
+		if astx.DocHasDirective(file.Doc, PackageDirective) {
+			annotated = true
+			break
+		}
+	}
+	if !annotated {
+		return
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := astx.CalleeOf(pass.TypesInfo, call)
+			if fn == nil || astx.PkgPath(fn) != "time" || recvType(fn) != nil {
+				return true
+			}
+			if what, ok := clockBypass[fn.Name()]; ok {
+				pass.Report(analysis.Diagnostic{
+					Pos: call.Pos(),
+					Message: fmt.Sprintf("time.%s %s, bypassing the injected clock in a %s package",
+						fn.Name(), what, PackageDirective),
+				})
+			}
+			return true
+		})
+	}
 }
 
 // scanBody records the first local nondeterminism reason and the static

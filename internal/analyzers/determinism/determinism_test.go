@@ -11,6 +11,10 @@ func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "a")
 }
 
+func TestSimClock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "simclock", "noclock")
+}
+
 func TestSortSliceFix(t *testing.T) {
 	analysistest.RunWithSuggestedFixes(t, analysistest.TestData(), determinism.Analyzer, "fix")
 }

@@ -1,0 +1,14 @@
+// Package noclock has no //hafw:simclock directive, so direct time
+// calls are allowed (the function-level determinism directive is a
+// separate, narrower contract).
+package noclock
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}
+
+func Nap() {
+	time.Sleep(time.Millisecond)
+}

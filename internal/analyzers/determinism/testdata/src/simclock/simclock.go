@@ -1,0 +1,54 @@
+// Package simclock is a clock-injected fixture: every timer must come
+// from the injected clock, never the time package.
+//
+//hafw:simclock
+package simclock
+
+import "time"
+
+// Clock stands in for the real clock.Clock interface.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock, bypassing the injected clock in a //hafw:simclock package`
+}
+
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since reads the wall clock, bypassing the injected clock in a //hafw:simclock package`
+}
+
+func Nap() {
+	time.Sleep(time.Second) // want `time\.Sleep blocks on the real clock, bypassing the injected clock in a //hafw:simclock package`
+}
+
+func Timeout() <-chan time.Time {
+	return time.After(time.Second) // want `time\.After starts a real timer, bypassing the injected clock in a //hafw:simclock package`
+}
+
+func Defer(f func()) *time.Timer {
+	return time.AfterFunc(time.Minute, f) // want `time\.AfterFunc starts a real timer, bypassing the injected clock in a //hafw:simclock package`
+}
+
+func Timer() *time.Timer {
+	return time.NewTimer(time.Second) // want `time\.NewTimer starts a real timer, bypassing the injected clock in a //hafw:simclock package`
+}
+
+func Ticker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `time\.NewTicker starts a real ticker, bypassing the injected clock in a //hafw:simclock package`
+}
+
+// Injected time is the point of the directive: calls through the clock
+// value are fine, as are pure time-value helpers.
+func Allowed(clk Clock, deadline time.Time) bool {
+	<-clk.After(500 * time.Millisecond)
+	d, _ := time.ParseDuration("1s")
+	return clk.Now().Add(d).Before(deadline)
+}
+
+// Method values on time values (not the package clock) are fine too.
+func Arithmetic(t time.Time) time.Time {
+	return t.Add(3 * time.Second).Truncate(time.Minute)
+}

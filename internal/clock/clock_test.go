@@ -1,0 +1,91 @@
+package clock_test
+
+import (
+	"testing"
+	"time"
+
+	"hafw/internal/clock"
+)
+
+func TestOrReal(t *testing.T) {
+	if clock.OrReal(nil) != clock.Real {
+		t.Fatal("OrReal(nil) != Real")
+	}
+	if clock.OrReal(clock.Real) != clock.Real {
+		t.Fatal("OrReal(Real) != Real")
+	}
+}
+
+func TestRealNowSince(t *testing.T) {
+	t0 := clock.Real.Now()
+	if d := clock.Real.Since(t0); d < 0 {
+		t.Fatalf("Since went backwards: %v", d)
+	}
+	if got := clock.Real.Now(); got.Before(t0) {
+		t.Fatalf("Now went backwards: %v < %v", got, t0)
+	}
+}
+
+func TestRealTimerFires(t *testing.T) {
+	tm := clock.Real.NewTimer(time.Millisecond)
+	defer tm.Stop()
+	select {
+	case <-tm.C():
+	case <-time.After(time.Second):
+		t.Fatal("real timer did not fire")
+	}
+}
+
+func TestRealTimerStopReset(t *testing.T) {
+	tm := clock.Real.NewTimer(time.Hour)
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	tm.Reset(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(time.Second):
+		t.Fatal("reset timer did not fire")
+	}
+}
+
+func TestRealAfterFunc(t *testing.T) {
+	ch := make(chan struct{})
+	tm := clock.Real.AfterFunc(time.Millisecond, func() { close(ch) })
+	defer tm.Stop()
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("AfterFunc did not run")
+	}
+}
+
+func TestRealTicker(t *testing.T) {
+	tk := clock.Real.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-tk.C():
+		case <-time.After(time.Second):
+			t.Fatal("ticker did not tick")
+		}
+	}
+}
+
+func TestRealAfterAndSleep(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		clock.Real.Sleep(time.Millisecond)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not return")
+	}
+	select {
+	case <-clock.Real.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("After did not fire")
+	}
+}

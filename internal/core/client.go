@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"hafw/internal/clock"
 	"hafw/internal/gcs"
 	"hafw/internal/ids"
 	"hafw/internal/metrics"
@@ -49,6 +50,9 @@ type ClientConfig struct {
 	// onto outgoing requests, so server-side handling spans (and the
 	// responses they cause) link back to the originating call.
 	Obs *obs.Tracer
+	// Clock is the time source for call deadlines, retries, and polling.
+	// Nil means the wall clock.
+	Clock clock.Clock
 }
 
 // Client metric names, recorded in the per-client registry (see Stats).
@@ -92,6 +96,7 @@ type Client struct {
 	cfg ClientConfig
 	g   *gcs.Client
 	reg *metrics.Registry
+	clk clock.Clock
 
 	mu        sync.Mutex
 	unitWait  []chan UnitList
@@ -111,6 +116,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	c := &Client{
 		cfg:       cfg,
 		reg:       metrics.NewRegistry(),
+		clk:       clock.OrReal(cfg.Clock),
 		startWait: make(map[ids.UnitName][]chan SessionStarted),
 		endWait:   make(map[ids.SessionID][]chan struct{}),
 		sessions:  make(map[ids.SessionID]*ClientSession),
@@ -120,6 +126,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		Transport: cfg.Transport,
 		Servers:   cfg.Servers,
 		OnMessage: c.onMessage,
+		Clock:     cfg.Clock,
 	})
 	if err != nil {
 		return nil, err
@@ -238,7 +245,7 @@ func (c *Client) ListUnits() ([]UnitInfo, error) {
 			c.reg.Counter(mSendErrors).Inc()
 			return nil, err
 		}
-		if ul, ok := waitx.Recv(ch, c.cfg.RequestTimeout); ok {
+		if ul, ok := waitx.RecvC(c.clk, ch, c.cfg.RequestTimeout); ok {
 			return ul.Units, nil
 		}
 	}
@@ -252,7 +259,7 @@ func (c *Client) ListUnits() ([]UnitInfo, error) {
 // the paper's Section 4 analyzes, so deployments wait for formation before
 // opening sessions.
 func (c *Client) WaitUnit(unit ids.UnitName, replicas int, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := c.clk.Now().Add(timeout)
 	for {
 		units, err := c.ListUnits()
 		if err == nil {
@@ -262,10 +269,10 @@ func (c *Client) WaitUnit(unit ids.UnitName, replicas int, timeout time.Duration
 				}
 			}
 		}
-		if time.Now().After(deadline) {
+		if c.clk.Now().After(deadline) {
 			return fmt.Errorf("%w: unit %s did not reach %d replicas", ErrTimeout, unit, replicas)
 		}
-		time.Sleep(25 * time.Millisecond)
+		c.clk.Sleep(25 * time.Millisecond)
 	}
 }
 
@@ -274,7 +281,7 @@ func (c *Client) WaitUnit(unit ids.UnitName, replicas int, timeout time.Duration
 func (c *Client) StartSession(unit ids.UnitName, h ResponseHandler) (*ClientSession, error) {
 	c.reg.Counter(mCalls).Inc()
 	tc := c.cfg.Obs.RootContext()
-	t0 := time.Now()
+	t0 := c.clk.Now()
 	defer c.cfg.Obs.RecordSpan("client.start-session", tc, t0)
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
@@ -289,7 +296,7 @@ func (c *Client) StartSession(unit ids.UnitName, h ResponseHandler) (*ClientSess
 			c.reg.Counter(mSendErrors).Inc()
 			return nil, fmt.Errorf("start session on %s: %w", unit, err)
 		}
-		if st, ok := waitx.Recv(ch, c.cfg.RequestTimeout); ok {
+		if st, ok := waitx.RecvC(c.clk, ch, c.cfg.RequestTimeout); ok {
 			sess := &ClientSession{
 				c:     c,
 				ID:    st.Session,
@@ -360,7 +367,7 @@ func (s *ClientSession) deliver(seq uint64, body wire.Message) {
 func (s *ClientSession) Send(body wire.Message) error {
 	s.c.reg.Counter(mSends).Inc()
 	tc := s.c.cfg.Obs.RootContext()
-	t0 := time.Now()
+	t0 := s.c.clk.Now()
 	s.c.invalidate(s.Group)
 	err := s.c.g.SendToGroupTC(s.Group, ClientRequest{Session: s.ID, Body: body}, tc)
 	if err != nil {
@@ -376,7 +383,7 @@ func (s *ClientSession) Send(body wire.Message) error {
 func (s *ClientSession) End() error {
 	s.c.reg.Counter(mCalls).Inc()
 	tc := s.c.cfg.Obs.RootContext()
-	t0 := time.Now()
+	t0 := s.c.clk.Now()
 	defer s.c.cfg.Obs.RecordSpan("client.end-session", tc, t0)
 	var err error
 	for attempt := 0; attempt <= s.c.cfg.Retries; attempt++ {
@@ -392,7 +399,7 @@ func (s *ClientSession) End() error {
 			s.c.reg.Counter(mSendErrors).Inc()
 			break
 		}
-		if _, ok := waitx.Recv(ch, s.c.cfg.RequestTimeout); ok {
+		if _, ok := waitx.RecvC(s.c.clk, ch, s.c.cfg.RequestTimeout); ok {
 			err = nil
 			goto done
 		}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"hafw/internal/clock"
 	"hafw/internal/gcs"
 	"hafw/internal/ids"
 	"hafw/internal/membership"
@@ -80,6 +81,11 @@ type Config struct {
 	Fsync store.Policy
 	// FsyncInterval overrides the interval policy's timer period (testing).
 	FsyncInterval time.Duration
+
+	// Clock is the time source for propagation scheduling, session
+	// activity stamps, and telemetry, passed down to the whole GCS stack.
+	// Nil means the wall clock.
+	Clock clock.Clock
 }
 
 // checkpointEvery bounds WAL growth: after this many logged records the
@@ -184,6 +190,7 @@ type sessionRef struct {
 type Server struct {
 	cfg Config
 	reg *metrics.Registry
+	clk clock.Clock
 
 	proc *gcs.Process
 
@@ -212,6 +219,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		reg:      reg,
+		clk:      clock.OrReal(cfg.Clock),
 		units:    make(map[ids.UnitName]*unitState),
 		sessions: make(map[ids.GroupName]sessionRef),
 		stop:     make(chan struct{}),
@@ -270,6 +278,7 @@ func NewServer(cfg Config) (*Server, error) {
 		FDTimeout:    cfg.FDTimeout,
 		RoundTimeout: cfg.RoundTimeout,
 		AckInterval:  cfg.AckInterval,
+		Clock:        cfg.Clock,
 	})
 	if err != nil {
 		return nil, err
@@ -554,6 +563,33 @@ func (s *Server) onContentViewLocked(u *unitState, ev gcs.ViewEvent, tc wire.Tra
 		// exchange per-session stamp vectors first; the deltas follow once
 		// every member's offer is in.
 		s.reg.Counter("state_exchanges").Inc()
+		// The view change flushed every session group, so live replicas of
+		// one session hold identical contexts — possibly ahead of the last
+		// periodic propagation. Fold that tail into the database before
+		// offering: the exchange must ship the freshest context, or a
+		// session drafted elsewhere (its old primary gone, its surviving
+		// backup not reallocated) would restore a stale one and drop
+		// updates the primary had already acked.
+		for sid, live := range u.live {
+			sess := u.db.Get(sid)
+			if sess == nil {
+				continue
+			}
+			ctx := live.app.Snapshot()
+			if bytes.Equal(ctx, sess.Context) {
+				continue
+			}
+			if debugExchange {
+				fmt.Fprintf(os.Stderr, "FOLD p%d sid=%d role=%d app=%d db=%d stamp=%d\n",
+					s.cfg.Self, sid, live.role, len(ctx), len(sess.Context), sess.Stamp)
+			}
+			next := sess.Stamp + 1
+			if u.db.UpdateContext(sid, ctx, next) {
+				s.persistLocked(u, store.Record{Op: store.OpCtx, SID: sid, Ctx: ctx, Stamp: next})
+				live.lastStamp = next
+				live.lastSent = nil
+			}
+		}
 		var held []PropagateCtx
 		if u.exch != nil {
 			// Carry deferred propagations into the superseding exchange:
@@ -568,7 +604,7 @@ func (s *Server) onContentViewLocked(u *unitState, ev gcs.ViewEvent, tc wire.Tra
 			offers:    make(map[ids.ProcessID]unitdb.Offer, len(ev.View.Members)),
 			deltas:    make(map[ids.ProcessID]unitdb.Snapshot, len(ev.View.Members)),
 			heldProps: held,
-			begunAt:   time.Now(),
+			begunAt:   s.clk.Now(),
 			tc:        s.cfg.Obs.ChildContext(tc),
 		}
 		offer := StateOffer{
@@ -693,7 +729,7 @@ func (s *Server) onStartSessionLocked(u *unitState, from ids.EndpointID, msg Sta
 // onPropagateLocked applies a primary's context propagation to the unit
 // database, and refreshes live backup replicas.
 func (s *Server) onPropagateLocked(u *unitState, msg PropagateCtx) {
-	now := time.Now()
+	now := s.clk.Now()
 	if msg.SentUnixNano > 0 {
 		// Lag from the primary's send to this delivery: ordering, transport,
 		// and event-loop queuing. Clock skew can make it negative across
@@ -756,8 +792,8 @@ func (s *Server) onStateOfferLocked(u *unitState, from ids.EndpointID, msg State
 		}
 	}
 	u.exch.sentDelta = true
-	u.exch.offersDoneAt = time.Now()
-	s.reg.Histogram(`viewchange_duration_seconds{phase="state_exchange"}`).Observe(time.Since(u.exch.begunAt))
+	u.exch.offersDoneAt = s.clk.Now()
+	s.reg.Histogram(`viewchange_duration_seconds{phase="state_exchange"}`).Observe(s.clk.Since(u.exch.begunAt))
 	delta := StateDelta{
 		Unit: u.cfg.Unit, ViewPV: u.exch.viewPV, ViewN: u.exch.viewN,
 		Snap: u.db.DeltaFor(s.cfg.Self, u.exch.offers),
@@ -807,7 +843,7 @@ func (s *Server) onStateDeltaLocked(u *unitState, from ids.EndpointID, msg State
 	// The barrier phase ran from the last offer (when deltas could first
 	// flow) to this merge; the whole exchange becomes one span.
 	if !u.exch.offersDoneAt.IsZero() {
-		s.reg.Histogram(`viewchange_duration_seconds{phase="barrier"}`).Observe(time.Since(u.exch.offersDoneAt))
+		s.reg.Histogram(`viewchange_duration_seconds{phase="barrier"}`).Observe(s.clk.Since(u.exch.offersDoneAt))
 	}
 	s.cfg.Obs.RecordSpan("core.state-exchange", u.exch.tc, u.exch.begunAt)
 	exchTC := u.exch.tc
@@ -873,7 +909,7 @@ func (s *Server) onSessionMsgLocked(u *unitState, sid ids.SessionID, ev gcs.Mess
 		}
 		sp := s.cfg.Obs.StartChild("core.request", ev.TC)
 		defer sp.End()
-		live.lastActivity = time.Now()
+		live.lastActivity = s.clk.Now()
 		if live.role == rolePrimary && live.resp != nil {
 			// Responses emitted while (or after) applying this update are
 			// caused by it; the responder stamps them with this span.
@@ -1037,7 +1073,7 @@ func (s *Server) draftLocked(u *unitState, sess *unitdb.Session) *liveSession {
 		app:          u.cfg.Service.NewSession(u.cfg.Unit, sess.ID, sess.Client),
 		role:         roleNone,
 		lastStamp:    sess.Stamp,
-		lastActivity: time.Now(),
+		lastActivity: s.clk.Now(),
 	}
 	live.app.Restore(sess.Context)
 	u.live[sess.ID] = live
@@ -1123,14 +1159,14 @@ func (s *Server) propagationLoop() {
 	if period == 0 {
 		period = 500 * time.Millisecond
 	}
-	ticker := time.NewTicker(period)
+	ticker := s.clk.NewTicker(period)
 	defer ticker.Stop()
 	last := make(map[ids.UnitName]time.Time)
 	for {
 		select {
 		case <-s.stop:
 			return
-		case now := <-ticker.C:
+		case now := <-ticker.C():
 			s.mu.Lock()
 			type outMsg struct {
 				g ids.GroupName
@@ -1151,7 +1187,7 @@ func (s *Server) propagationLoop() {
 				// Each propagation roots its own trace; receivers' applies
 				// become its children via the wire context.
 				tc := s.cfg.Obs.RootContext()
-				t0 := time.Now()
+				t0 := s.clk.Now()
 				_ = s.proc.MulticastTC(o.g, o.m, tc)
 				s.cfg.Obs.RecordSpan("core.propagate", tc, t0)
 			}
@@ -1310,7 +1346,7 @@ func (s *Server) Health() error {
 func (s *Server) Status() obs.NodeStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	now := time.Now()
+	now := s.clk.Now()
 	st := obs.NodeStatus{Node: uint64(s.cfg.Self)}
 
 	addGroup := func(v vsync.GroupView) {

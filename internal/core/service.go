@@ -9,6 +9,12 @@
 // A concrete service (video-on-demand, distance education, refinement
 // search, ...) plugs in through the Service and Session interfaces: the
 // framework supplies availability, the service supplies semantics.
+//
+// Servers and clients measure time exclusively through an injected
+// clock.Clock (propagation periods, call deadlines, activity stamps), so
+// the simulator can drive whole clusters in virtual time.
+//
+//hafw:simclock
 package core
 
 import (

@@ -30,8 +30,8 @@ func TestByID(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	rs := Experiments()
-	if len(rs) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(rs))
+	if len(rs) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {
@@ -391,6 +391,31 @@ func TestE17Live(t *testing.T) {
 		if playbacks == 0 || completed != playbacks {
 			t.Errorf("B=%s T=%s: %d/%d playbacks completed through the kill\n%s",
 				row[0], row[1], completed, playbacks, tb)
+		}
+	}
+}
+
+func TestE18Live(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated churn sweep in -short")
+	}
+	tb, err := E18ChurnSweep(true)
+	if err != nil {
+		t.Fatalf("E18: %v\n%s", err, tb)
+	}
+	if len(tb.Rows) != 2 { // quick: two seeds
+		t.Fatalf("rows = %d\n%s", len(tb.Rows), tb)
+	}
+	for _, row := range tb.Rows {
+		acked, _ := strconv.Atoi(row[4])
+		if acked == 0 {
+			t.Errorf("seed %s: zero acked updates\n%s", row[0], tb)
+		}
+		if lost := row[6]; lost != "0" {
+			t.Errorf("seed %s: %s guaranteed-loss tags under tolerated churn\n%s", row[0], lost, tb)
+		}
+		if viol := row[9]; viol != "0" {
+			t.Errorf("seed %s: %s invariant violations\n%s", row[0], viol, tb)
 		}
 	}
 }

@@ -363,6 +363,35 @@ func (c *Cluster) WaitConverged(sessions int, timeout time.Duration) error {
 	}
 }
 
+// WaitSettled blocks until the databases are converged AND the shared
+// checksum has stopped moving for `window`. Convergence alone can be
+// satisfied by identically stale databases — all members agreeing on
+// session records whose contexts the periodic propagation has not flushed
+// yet — so callers that need the propagated state on disk (for example,
+// before stopping a server whose WAL is about to be measured) must wait
+// for the checksum to hold still across at least one propagation period.
+func (c *Cluster) WaitSettled(sessions int, window, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var ref [32]byte
+	stableSince := time.Time{}
+	for {
+		cs, ok := c.convergedChecksum(sessions)
+		switch {
+		case !ok:
+			stableSince = time.Time{}
+		case stableSince.IsZero() || cs != ref:
+			ref, stableSince = cs, time.Now()
+		case time.Since(stableSince) >= window:
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("exp: databases did not settle at %d sessions within %v:\n%s",
+				sessions, timeout, c.stateDump())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // stateDump renders every live server's per-session view, for convergence
 // failure messages.
 func (c *Cluster) stateDump() string {
@@ -390,6 +419,14 @@ func (c *Cluster) stateDump() string {
 }
 
 func (c *Cluster) converged(sessions int) bool {
+	_, ok := c.convergedChecksum(sessions)
+	return ok
+}
+
+// convergedChecksum reports whether every live server holds exactly
+// `sessions` sessions with identical database checksums, and returns the
+// shared checksum when they do.
+func (c *Cluster) convergedChecksum(sessions int) ([32]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var ref [32]byte
@@ -400,16 +437,16 @@ func (c *Cluster) converged(sessions int) bool {
 		}
 		srv := c.servers[pid]
 		if srv == nil || srv.DBSessions(c.Unit) != sessions {
-			return false
+			return ref, false
 		}
 		cs := srv.DBChecksum(c.Unit)
 		if first {
 			ref, first = cs, false
 		} else if cs != ref {
-			return false
+			return ref, false
 		}
 	}
-	return !first
+	return ref, !first
 }
 
 // Server returns a server by process ID.

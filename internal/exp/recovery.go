@@ -108,7 +108,14 @@ func RunRestartRejoin(sessions, updates int) (warm, cold RejoinResult, err error
 			}
 		}
 	}
-	if err = c.WaitConverged(sessions, 30*time.Second); err != nil {
+	// Settled, not merely converged: all members agreeing on contextless
+	// session records satisfies convergence before the first propagation
+	// tick ever fires, and a victim stopped then would have an empty-context
+	// WAL — making the warm rejoin as expensive as the cold one. The warm
+	// savings being measured exist only once the propagated contexts are in
+	// every database (and so in the victim's WAL).
+	settle := 4 * 25 * time.Millisecond
+	if err = c.WaitSettled(sessions, settle, 30*time.Second); err != nil {
 		return
 	}
 
@@ -126,7 +133,8 @@ func RunRestartRejoin(sessions, updates int) (warm, cold RejoinResult, err error
 		if err := c.RestartServer(victim); err != nil {
 			return RejoinResult{}, err
 		}
-		if err := c.WaitConverged(sessions, 30*time.Second); err != nil {
+		// Settle again: this cycle's end state is the next cycle's baseline.
+		if err := c.WaitSettled(sessions, settle, 30*time.Second); err != nil {
 			return RejoinResult{}, fmt.Errorf("rejoin did not reconverge: %w", err)
 		}
 		reg := c.Metrics(victim)

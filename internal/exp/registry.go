@@ -105,6 +105,7 @@ func Experiments() []Runner {
 		{ID: "E15", Name: "latency under primary failover mid-load (live load)", Run: E15FailoverLatency},
 		{ID: "E16", Name: "observability overhead and staleness tracking (live load)", Run: E16Observability},
 		{ID: "E17", Name: "streaming through primary failover vs. B and T (live, tcpnet)", Run: E17Streaming},
+		{ID: "E18", Name: "seeded churn sweep under the deterministic simulator (virtual clock)", Run: E18ChurnSweep},
 	}
 }
 

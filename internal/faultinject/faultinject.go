@@ -3,6 +3,11 @@
 // deterministic experiments, and an exponential crash/repair churn process
 // for the Monte-Carlo availability runs (Section 4 reasons about exactly
 // these failure patterns).
+//
+// All scheduling runs on an injected clock.Clock, so the simulator can
+// play fault scripts in virtual time.
+//
+//hafw:simclock
 package faultinject
 
 import (
@@ -11,14 +16,18 @@ import (
 	"sync"
 	"time"
 
+	"hafw/internal/clock"
 	"hafw/internal/ids"
 	"hafw/internal/transport/memnet"
+	"hafw/internal/waitx"
 )
 
-// Action is one fault operation against the network.
+// Action is one fault operation against the network. The clock is the
+// schedule's time source; most actions ignore it, but ones with their own
+// delays (Restart) must wait on it rather than the wall clock.
 type Action interface {
 	// Apply executes the operation.
-	Apply(net *memnet.Network)
+	Apply(net *memnet.Network, clk clock.Clock)
 	// Describe names the operation for traces.
 	Describe() string
 }
@@ -30,7 +39,7 @@ type Crash struct {
 }
 
 // Apply implements Action.
-func (a Crash) Apply(net *memnet.Network) { net.Crash(a.Target) }
+func (a Crash) Apply(net *memnet.Network, _ clock.Clock) { net.Crash(a.Target) }
 
 // Describe implements Action.
 func (a Crash) Describe() string { return "crash " + a.Target.String() }
@@ -42,7 +51,7 @@ type Revive struct {
 }
 
 // Apply implements Action.
-func (a Revive) Apply(net *memnet.Network) { net.Revive(a.Target) }
+func (a Revive) Apply(net *memnet.Network, _ clock.Clock) { net.Revive(a.Target) }
 
 // Describe implements Action.
 func (a Revive) Describe() string { return "revive " + a.Target.String() }
@@ -64,15 +73,13 @@ type Restart struct {
 }
 
 // Apply implements Action.
-func (a Restart) Apply(net *memnet.Network) {
+func (a Restart) Apply(net *memnet.Network, clk clock.Clock) {
 	net.Crash(a.Target)
 	if a.Relaunch == nil {
 		return
 	}
-	go func() {
-		time.Sleep(a.Down)
-		a.Relaunch()
-	}()
+	relaunch := a.Relaunch
+	clk.AfterFunc(a.Down, relaunch)
 }
 
 // Describe implements Action.
@@ -85,7 +92,7 @@ type Partition struct {
 }
 
 // Apply implements Action.
-func (a Partition) Apply(net *memnet.Network) { net.Partition(a.Sides...) }
+func (a Partition) Apply(net *memnet.Network, _ clock.Clock) { net.Partition(a.Sides...) }
 
 // Describe implements Action.
 func (a Partition) Describe() string { return "partition" }
@@ -94,7 +101,7 @@ func (a Partition) Describe() string { return "partition" }
 type Heal struct{}
 
 // Apply implements Action.
-func (Heal) Apply(net *memnet.Network) { net.Heal() }
+func (Heal) Apply(net *memnet.Network, _ clock.Clock) { net.Heal() }
 
 // Describe implements Action.
 func (Heal) Describe() string { return "heal" }
@@ -109,7 +116,7 @@ type CutLink struct {
 }
 
 // Apply implements Action.
-func (a CutLink) Apply(net *memnet.Network) { net.SetConnected(a.A, a.B, a.Up) }
+func (a CutLink) Apply(net *memnet.Network, _ clock.Clock) { net.SetConnected(a.A, a.B, a.Up) }
 
 // Describe implements Action.
 func (a CutLink) Describe() string {
@@ -175,25 +182,30 @@ func (s *Schedule) Steps() []Step {
 	return out
 }
 
-// Run plays the schedule against the network in real time. onStep, if
-// non-nil, observes each action as it fires. The returned handle waits for
-// completion or cancels early.
+// Run plays the schedule against the network in wall-clock time. onStep,
+// if non-nil, observes each action as it fires. The returned handle waits
+// for completion or cancels early.
 func (s *Schedule) Run(net *memnet.Network, onStep func(Step)) *Run {
+	return s.RunC(clock.Real, net, onStep)
+}
+
+// RunC is Run measuring offsets on the given clock: under the simulator
+// the whole script plays out in virtual time. Each wait holds exactly one
+// timer, stopped as soon as the wait resolves.
+func (s *Schedule) RunC(clk clock.Clock, net *memnet.Network, onStep func(Step)) *Run {
 	r := &Run{stop: make(chan struct{}), done: make(chan struct{})}
 	steps := s.Steps()
 	go func() {
 		defer close(r.done)
-		start := time.Now()
+		start := clk.Now()
 		for _, st := range steps {
-			wait := st.At - time.Since(start)
+			wait := st.At - clk.Since(start)
 			if wait > 0 {
-				select {
-				case <-time.After(wait):
-				case <-r.stop:
+				if _, stopped := waitx.RecvC(clk, r.stop, wait); stopped {
 					return
 				}
 			}
-			st.Action.Apply(net)
+			st.Action.Apply(net, clk)
 			if onStep != nil {
 				onStep(st)
 			}
@@ -237,9 +249,14 @@ type ChurnConfig struct {
 	OnCrash, OnRevive func(ids.EndpointID)
 }
 
-// Churn starts the random crash/repair process. Stop the returned run to
-// end it; all targets are revived on exit.
+// Churn starts the random crash/repair process in wall-clock time. Stop
+// the returned run to end it; all targets are revived on exit.
 func Churn(net *memnet.Network, cfg ChurnConfig) *Run {
+	return ChurnC(clock.Real, net, cfg)
+}
+
+// ChurnC is Churn on an injected clock.
+func ChurnC(clk clock.Clock, net *memnet.Network, cfg ChurnConfig) *Run {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
@@ -251,12 +268,12 @@ func Churn(net *memnet.Network, cfg ChurnConfig) *Run {
 			down bool
 			next time.Time
 		}
-		now := time.Now()
+		now := clk.Now()
 		states := make(map[ids.EndpointID]*state, len(cfg.Targets))
 		for _, t := range cfg.Targets {
 			states[t] = &state{next: now.Add(expDur(rng, cfg.MTTF))}
 		}
-		ticker := time.NewTicker(time.Millisecond)
+		ticker := clk.NewTicker(time.Millisecond)
 		defer ticker.Stop()
 		for {
 			select {
@@ -265,7 +282,7 @@ func Churn(net *memnet.Network, cfg ChurnConfig) *Run {
 					net.Revive(t)
 				}
 				return
-			case now = <-ticker.C:
+			case now = <-ticker.C():
 			}
 			downCount := 0
 			for _, st := range states {

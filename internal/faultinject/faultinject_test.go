@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"hafw/internal/clock"
 	"hafw/internal/ids"
 	"hafw/internal/transport/memnet"
 )
@@ -93,11 +94,11 @@ func TestPartitionAndHealActions(t *testing.T) {
 	net := memnet.New(memnet.Config{})
 	defer net.Close()
 	a, b := ids.ProcessEndpoint(1), ids.ProcessEndpoint(2)
-	Partition{Sides: [][]ids.EndpointID{{a}, {b}}}.Apply(net)
+	Partition{Sides: [][]ids.EndpointID{{a}, {b}}}.Apply(net, clock.Real)
 	if net.Connected(a, b) {
 		t.Fatal("partition not applied")
 	}
-	Heal{}.Apply(net)
+	Heal{}.Apply(net, clock.Real)
 	if !net.Connected(a, b) {
 		t.Fatal("heal not applied")
 	}

@@ -8,6 +8,12 @@
 // accurate and complete, which is exactly the assumption the paper's GCS
 // makes ("while the network is fairly stable ... failures can be
 // consistently detected, agreement can be reached").
+//
+// All timing — heartbeat scheduling, last-heard stamps, and suspicion
+// deadlines — derives from one injected clock.Clock, so skewing a node's
+// clock in simulation skews its suspicions coherently.
+//
+//hafw:simclock
 package fd
 
 import (
@@ -15,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"hafw/internal/clock"
 	"hafw/internal/ids"
 	"hafw/internal/wire"
 )
@@ -51,12 +58,16 @@ type Config struct {
 	// concurrently with itself) whenever the reachable set changes. The
 	// slice is sorted and includes Self.
 	OnChange func(reachable []ids.ProcessID)
+	// Clock is the time source for heartbeat scheduling and suspicion
+	// deadlines. Nil means the wall clock.
+	Clock clock.Clock
 }
 
 // Detector monitors a dynamic peer set. All methods are safe for
 // concurrent use.
 type Detector struct {
 	cfg Config
+	clk clock.Clock
 
 	mu        sync.Mutex
 	peers     map[ids.ProcessID]bool
@@ -79,6 +90,7 @@ func New(cfg Config) *Detector {
 	}
 	return &Detector{
 		cfg:       cfg,
+		clk:       clock.OrReal(cfg.Clock),
 		peers:     make(map[ids.ProcessID]bool),
 		lastHeard: make(map[ids.ProcessID]time.Time),
 		reachable: map[ids.ProcessID]bool{cfg.Self: true},
@@ -124,7 +136,7 @@ func (d *Detector) SetPeers(ps []ids.ProcessID) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	next := make(map[ids.ProcessID]bool, len(ps))
-	now := time.Now()
+	now := d.clk.Now()
 	for _, p := range ps {
 		if p == d.cfg.Self {
 			continue
@@ -153,7 +165,7 @@ func (d *Detector) AddPeer(p ids.ProcessID) {
 		return
 	}
 	d.peers[p] = true
-	d.lastHeard[p] = time.Now()
+	d.lastHeard[p] = d.clk.Now()
 }
 
 // Peers returns the currently monitored peers, sorted.
@@ -177,7 +189,7 @@ func (d *Detector) Observe(p ids.ProcessID) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.peers[p] {
-		d.lastHeard[p] = time.Now()
+		d.lastHeard[p] = d.clk.Now()
 	}
 }
 
@@ -206,12 +218,12 @@ func (d *Detector) IsReachable(p ids.ProcessID) bool {
 
 func (d *Detector) loop() {
 	defer close(d.done)
-	ticker := time.NewTicker(d.cfg.Interval)
+	ticker := d.clk.NewTicker(d.cfg.Interval)
 	defer ticker.Stop()
 	d.tick() // probe immediately so peers learn of us fast
 	for {
 		select {
-		case <-ticker.C:
+		case <-ticker.C():
 			d.tick()
 		case <-d.stop:
 			return
@@ -233,7 +245,7 @@ func (d *Detector) tick() {
 		_ = d.cfg.Send.Send(ids.ProcessEndpoint(p), Heartbeat{})
 	}
 
-	now := time.Now()
+	now := d.clk.Now()
 	d.mu.Lock()
 	next := map[ids.ProcessID]bool{d.cfg.Self: true}
 	for p := range d.peers {

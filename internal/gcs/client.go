@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"hafw/internal/clock"
 	"hafw/internal/ids"
 	"hafw/internal/transport"
 	"hafw/internal/vsync"
@@ -34,6 +35,9 @@ type ClientConfig struct {
 	// CacheTTL is how long a resolved membership is trusted before being
 	// refreshed. Zero means 250ms.
 	CacheTTL time.Duration
+	// Clock is the time source for resolve deadlines and cache aging. Nil
+	// means the wall clock.
+	Clock clock.Clock
 }
 
 // Client is the client-side GCS endpoint: it addresses groups abstractly
@@ -42,6 +46,7 @@ type ClientConfig struct {
 type Client struct {
 	cfg ClientConfig
 	tr  transport.Transport
+	clk clock.Clock
 
 	mu      sync.Mutex
 	nextSeq uint64
@@ -73,6 +78,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	c := &Client{
 		cfg:     cfg,
 		tr:      cfg.Transport,
+		clk:     clock.OrReal(cfg.Clock),
 		cache:   make(map[ids.GroupName]cachedMembers),
 		waiters: make(map[ids.GroupName][]chan []ids.ProcessID),
 		servers: append([]ids.ProcessID(nil), cfg.Servers...),
@@ -99,7 +105,7 @@ func (c *Client) route(env wire.Envelope) {
 	switch m := env.Payload.(type) {
 	case vsync.ResolveReply:
 		c.mu.Lock()
-		c.cache[m.Group] = cachedMembers{members: m.Members, at: time.Now()}
+		c.cache[m.Group] = cachedMembers{members: m.Members, at: c.clk.Now()}
 		ws := c.waiters[m.Group]
 		delete(c.waiters, m.Group)
 		c.mu.Unlock()
@@ -118,7 +124,7 @@ func (c *Client) route(env wire.Envelope) {
 // currently has no members.
 func (c *Client) Resolve(g ids.GroupName) ([]ids.ProcessID, error) {
 	c.mu.Lock()
-	if e, ok := c.cache[g]; ok && time.Since(e.at) < c.cfg.CacheTTL {
+	if e, ok := c.cache[g]; ok && c.clk.Since(e.at) < c.cfg.CacheTTL {
 		m := e.members
 		c.mu.Unlock()
 		return m, nil
@@ -135,7 +141,7 @@ func (c *Client) Resolve(g ids.GroupName) ([]ids.ProcessID, error) {
 		c.waiters[g] = append(c.waiters[g], ch)
 		c.mu.Unlock()
 		_ = c.tr.Send(ids.ProcessEndpoint(s), vsync.Resolve{Group: g})
-		if members, ok := waitx.Recv(ch, c.cfg.ResolveTimeout); ok {
+		if members, ok := waitx.RecvC(c.clk, ch, c.cfg.ResolveTimeout); ok {
 			return members, nil
 		}
 		c.dropWaiter(g, ch)

@@ -16,12 +16,18 @@
 //     flush hooks + vsync Collect/Install
 //   - open groups (non-members, incl. clients, may send)     → vsync
 //     client fan-in and server relays
+//
+// The whole stack shares one injected clock.Clock, so the simulator can
+// run it in virtual time.
+//
+//hafw:simclock
 package gcs
 
 import (
 	"errors"
 	"time"
 
+	"hafw/internal/clock"
 	"hafw/internal/fd"
 	"hafw/internal/ids"
 	"hafw/internal/membership"
@@ -72,6 +78,9 @@ type Config struct {
 	// the like); shared downward into vsync. Nil leaves each layer on a
 	// private registry.
 	Metrics *metrics.Registry
+	// Clock is the time source shared downward into the failure detector,
+	// membership, and vsync. Nil means the wall clock.
+	Clock clock.Clock
 }
 
 // Process is one GCS endpoint: a server process that can join groups,
@@ -100,6 +109,7 @@ func NewProcess(cfg Config) (*Process, error) {
 		OnEvent:     cfg.OnEvent,
 		AckInterval: cfg.AckInterval,
 		Metrics:     cfg.Metrics,
+		Clock:       cfg.Clock,
 	})
 	p.mem = membership.New(membership.Config{
 		Self:         cfg.Self,
@@ -107,6 +117,7 @@ func NewProcess(cfg Config) (*Process, error) {
 		Hooks:        p.node,
 		RoundTimeout: cfg.RoundTimeout,
 		OnView:       cfg.OnProcessView,
+		Clock:        cfg.Clock,
 	})
 	p.det = fd.New(fd.Config{
 		Self:     cfg.Self,
@@ -114,6 +125,7 @@ func NewProcess(cfg Config) (*Process, error) {
 		Timeout:  cfg.FDTimeout,
 		Send:     p.tr,
 		OnChange: p.mem.ReachableChanged,
+		Clock:    cfg.Clock,
 	})
 	p.det.SetPeers(cfg.World)
 

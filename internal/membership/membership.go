@@ -24,6 +24,12 @@
 //   - flush hook: members that move together from view V to view W were
 //     handed the same state blobs, which is what the layer above needs to
 //     deliver the same message set in V (virtual synchrony).
+//
+// Round deadlines and nudge rate limits derive solely from the injected
+// clock.Clock, so a simulated clock (possibly skewed per node) fully
+// controls the protocol's notion of elapsed time.
+//
+//hafw:simclock
 package membership
 
 import (
@@ -31,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"hafw/internal/clock"
 	"hafw/internal/fd"
 	"hafw/internal/ids"
 	"hafw/internal/wire"
@@ -153,12 +160,16 @@ type Config struct {
 	// OnView, if set, observes every installed view after Hooks.Install
 	// returned. Called from the membership goroutine.
 	OnView func(v View)
+	// Clock is the time source for round deadlines and the retry ticker.
+	// Nil means the wall clock.
+	Clock clock.Clock
 }
 
 // Service runs the membership protocol for one process.
 type Service struct {
 	cfg   Config
 	hooks Hooks
+	clk   clock.Clock
 
 	mu sync.Mutex
 	// curView is the currently installed view.
@@ -214,6 +225,7 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:       cfg,
 		hooks:     hooks,
+		clk:       clock.OrReal(cfg.Clock),
 		curView:   NewView(ids.ViewID{Epoch: 1, Coord: cfg.Self}, []ids.ProcessID{cfg.Self}),
 		maxEpoch:  1,
 		reachable: []ids.ProcessID{cfg.Self},
@@ -296,7 +308,7 @@ func (s *Service) kick() {
 
 func (s *Service) loop() {
 	defer close(s.done)
-	ticker := time.NewTicker(s.cfg.RoundTimeout / 3)
+	ticker := s.clk.NewTicker(s.cfg.RoundTimeout / 3)
 	defer ticker.Stop()
 	for {
 		select {
@@ -305,7 +317,7 @@ func (s *Service) loop() {
 		case in := <-s.inbox:
 			s.dispatch(in)
 		case <-s.wake:
-		case <-ticker.C:
+		case <-ticker.C():
 		}
 		s.step()
 	}
@@ -319,7 +331,7 @@ func (s *Service) step() {
 	round := s.round
 	nudged := s.nudged
 	s.nudged = false
-	now := time.Now()
+	now := s.clk.Now()
 	s.mu.Unlock()
 
 	iAmCoord := len(reach) > 0 && reach[0] == s.cfg.Self
@@ -372,7 +384,7 @@ func (s *Service) startRound(members []ids.ProcessID) {
 		vid:      vid,
 		members:  append([]ids.ProcessID(nil), members...),
 		states:   make(map[ids.ProcessID][]byte, len(members)),
-		deadline: time.Now().Add(s.cfg.RoundTimeout),
+		deadline: s.clk.Now().Add(s.cfg.RoundTimeout),
 	}
 	s.mu.Unlock()
 

@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Kind names one chaos operation.
+type Kind string
+
+// The concrete event kinds (what actually fires during a run) and the
+// generator kinds (expanded into concrete events before the run starts).
+const (
+	// KindCrash stops a server without restart: process killed, disk kept.
+	KindCrash Kind = "crash"
+	// KindRestart crashes a server and relaunches it after DownMS through
+	// the WAL warm-restart path (the relaunched server recovers its unit
+	// databases from its data directory when the cluster runs with WAL).
+	KindRestart Kind = "restart"
+	// KindPartition splits the listed server sides from each other.
+	// Servers on no side — and all clients — stay connected to everyone,
+	// which yields exactly the non-transitive connectivity of the paper's
+	// dual-primary scenario.
+	KindPartition Kind = "partition"
+	// KindHeal restores every cut link.
+	KindHeal Kind = "heal"
+	// KindSkew shifts one node's clock readings by OffsetMS.
+	KindSkew Kind = "skew"
+	// KindCutLink severs (or with Up restores) the single link A—B.
+	KindCutLink Kind = "cutlink"
+
+	// KindRollingRestart is a generator: from FromMS, every GapMS, restart
+	// the next server in pid order, each down for DownMS.
+	KindRollingRestart Kind = "rolling_restart"
+	// KindChurn is a generator: an exponential crash/repair process over
+	// all servers between FromMS and ToMS with means MTTFMS/MTTRMS,
+	// holding at most MaxDown servers down at once (0 means no cap).
+	KindChurn Kind = "churn"
+)
+
+// Entry is one line of the chaos schedule DSL. Schedules are JSON arrays
+// of entries; concrete kinds fire at AtMS, generator kinds expand into
+// many concrete events using the run's seeded PRNG. Node numbers are
+// 1-based process IDs; Node 0 on a concrete kind means "let the PRNG
+// pick".
+type Entry struct {
+	Kind     Kind    `json:"kind"`
+	AtMS     int64   `json:"at_ms,omitempty"`
+	Node     int     `json:"node,omitempty"`
+	DownMS   int64   `json:"down_ms,omitempty"`
+	OffsetMS int64   `json:"offset_ms,omitempty"`
+	Sides    [][]int `json:"sides,omitempty"`
+	A        int     `json:"a,omitempty"`
+	B        int     `json:"b,omitempty"`
+	Up       bool    `json:"up,omitempty"`
+	FromMS   int64   `json:"from_ms,omitempty"`
+	ToMS     int64   `json:"to_ms,omitempty"`
+	MTTFMS   int64   `json:"mttf_ms,omitempty"`
+	MTTRMS   int64   `json:"mttr_ms,omitempty"`
+	MaxDown  int     `json:"max_down,omitempty"`
+	GapMS    int64   `json:"gap_ms,omitempty"`
+}
+
+// Schedule is a chaos script: the declarative form, before expansion.
+type Schedule struct {
+	Entries []Entry
+}
+
+// ParseSchedule decodes the JSON form.
+func ParseSchedule(data []byte) (*Schedule, error) {
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("sim: parse chaos schedule: %w", err)
+	}
+	return &Schedule{Entries: entries}, nil
+}
+
+// LoadSchedule reads and decodes a JSON schedule file.
+func LoadSchedule(path string) (*Schedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSchedule(data)
+}
+
+// JSON renders the schedule in its file form.
+func (s *Schedule) JSON() []byte {
+	out, _ := json.MarshalIndent(s.Entries, "", "  ")
+	return append(out, '\n')
+}
+
+// Event is one concrete fault at one virtual instant — the unit the
+// trace records, the cluster applies, and the shrinker deletes.
+type Event struct {
+	// At is the offset from run start.
+	At time.Duration
+	// Kind is a concrete kind (never a generator).
+	Kind Kind
+	// Node is the 1-based target pid for crash/restart/skew.
+	Node int
+	// Down is the restart downtime.
+	Down time.Duration
+	// Offset is the skew shift.
+	Offset time.Duration
+	// Sides are the partition sides (server pids).
+	Sides [][]int
+	// A, B, Up describe a cutlink.
+	A, B int
+	Up   bool
+}
+
+// String renders the event in the canonical trace form: stable field
+// order, integer nanoseconds, no map iteration anywhere.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindCrash:
+		return fmt.Sprintf("t=%d crash node=%d", e.At.Nanoseconds(), e.Node)
+	case KindRestart:
+		return fmt.Sprintf("t=%d restart node=%d down=%d", e.At.Nanoseconds(), e.Node, e.Down.Nanoseconds())
+	case KindPartition:
+		return fmt.Sprintf("t=%d partition sides=%v", e.At.Nanoseconds(), e.Sides)
+	case KindHeal:
+		return fmt.Sprintf("t=%d heal", e.At.Nanoseconds())
+	case KindSkew:
+		return fmt.Sprintf("t=%d skew node=%d offset=%d", e.At.Nanoseconds(), e.Node, e.Offset.Nanoseconds())
+	case KindCutLink:
+		return fmt.Sprintf("t=%d cutlink a=%d b=%d up=%v", e.At.Nanoseconds(), e.A, e.B, e.Up)
+	}
+	return fmt.Sprintf("t=%d %s", e.At.Nanoseconds(), e.Kind)
+}
+
+// Expand resolves the schedule into a flat, time-sorted list of concrete
+// events for a cluster of the given size. All randomness (generator
+// draws, unspecified targets) comes from rng, consumed in a fixed order,
+// so the expansion is a pure function of the seed: the same seed replays
+// the same faults at the same virtual instants. Events past horizon are
+// dropped.
+func (s *Schedule) Expand(rng *rand.Rand, nodes int, horizon time.Duration) []Event {
+	var out []Event
+	for _, e := range s.Entries {
+		switch e.Kind {
+		case KindRollingRestart:
+			out = append(out, expandRolling(e, nodes)...)
+		case KindChurn:
+			out = append(out, expandChurn(rng, e, nodes, horizon)...)
+		default:
+			ev := Event{
+				At:     time.Duration(e.AtMS) * time.Millisecond,
+				Kind:   e.Kind,
+				Node:   e.Node,
+				Down:   time.Duration(e.DownMS) * time.Millisecond,
+				Offset: time.Duration(e.OffsetMS) * time.Millisecond,
+				Sides:  e.Sides,
+				A:      e.A,
+				B:      e.B,
+				Up:     e.Up,
+			}
+			if ev.Node == 0 && (e.Kind == KindCrash || e.Kind == KindRestart || e.Kind == KindSkew) {
+				ev.Node = 1 + rng.Intn(nodes)
+			}
+			out = append(out, ev)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	n := 0
+	for _, ev := range out {
+		if ev.At <= horizon {
+			out[n] = ev
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// expandRolling emits one restart per server, FromMS + i*GapMS apart.
+func expandRolling(e Entry, nodes int) []Event {
+	gap := time.Duration(e.GapMS) * time.Millisecond
+	if gap <= 0 {
+		gap = 10 * time.Second
+	}
+	down := time.Duration(e.DownMS) * time.Millisecond
+	if down <= 0 {
+		down = 5 * time.Second
+	}
+	events := make([]Event, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		events = append(events, Event{
+			At:   time.Duration(e.FromMS)*time.Millisecond + time.Duration(i)*gap,
+			Kind: KindRestart,
+			Node: i + 1,
+			Down: down,
+		})
+	}
+	return events
+}
+
+// expandChurn pre-draws the exponential crash/repair process as restart
+// events: each crash carries its repair time as the restart downtime. A
+// chronological sweep over per-node next-crash candidates enforces the
+// MaxDown cap the same way the live process would — a node whose crash
+// would exceed the cap redraws its time-to-failure from the blocked
+// instant.
+func expandChurn(rng *rand.Rand, e Entry, nodes int, horizon time.Duration) []Event {
+	from := time.Duration(e.FromMS) * time.Millisecond
+	to := time.Duration(e.ToMS) * time.Millisecond
+	if to <= 0 || to > horizon {
+		to = horizon
+	}
+	mttf := time.Duration(e.MTTFMS) * time.Millisecond
+	mttr := time.Duration(e.MTTRMS) * time.Millisecond
+	if mttf <= 0 || mttr <= 0 || to <= from {
+		return nil
+	}
+	expDur := func(mean time.Duration) time.Duration {
+		return time.Duration(rng.ExpFloat64() * float64(mean))
+	}
+	// nextCrash[i] is the candidate crash instant of node i+1; upAt[i] is
+	// when a down node is back.
+	nextCrash := make([]time.Duration, nodes)
+	upAt := make([]time.Duration, nodes)
+	for i := range nextCrash {
+		nextCrash[i] = from + expDur(mttf)
+	}
+	var events []Event
+	for {
+		// Earliest candidate, lowest pid on ties: deterministic order.
+		best := -1
+		for i := range nextCrash {
+			if nextCrash[i] > to {
+				continue
+			}
+			if best < 0 || nextCrash[i] < nextCrash[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			return events
+		}
+		t := nextCrash[best]
+		down := 0
+		for i := range upAt {
+			if upAt[i] > t {
+				down++
+			}
+		}
+		if e.MaxDown > 0 && down >= e.MaxDown {
+			nextCrash[best] = t + expDur(mttf)
+			continue
+		}
+		repair := expDur(mttr)
+		if repair < 100*time.Millisecond {
+			repair = 100 * time.Millisecond
+		}
+		events = append(events, Event{At: t, Kind: KindRestart, Node: best + 1, Down: repair})
+		upAt[best] = t + repair
+		nextCrash[best] = t + repair + expDur(mttf)
+	}
+}

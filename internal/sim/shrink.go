@@ -1,0 +1,60 @@
+package sim
+
+// Shrink minimizes a failing chaos event list with delta debugging
+// (ddmin): it repeatedly re-runs subsets of the events through prop and
+// keeps the smallest list that still reproduces the failure. prop must
+// report true when the violation still occurs. The input list is assumed
+// to fail; the result is 1-minimal with respect to chunk removal — no
+// single remaining chunk at the final granularity can be dropped.
+//
+// Each probe is a full simulated run, so the caller bounds cost with
+// maxProbes (0 means 64). The events' virtual timestamps are preserved,
+// not re-packed: a minimal schedule replays the surviving faults at their
+// original instants, which keeps it diffable against the full trace.
+func Shrink(events []Event, prop func([]Event) bool, maxProbes int) []Event {
+	if maxProbes <= 0 {
+		maxProbes = 64
+	}
+	probes := 0
+	try := func(sub []Event) bool {
+		if probes >= maxProbes {
+			return false
+		}
+		probes++
+		return prop(sub)
+	}
+
+	cur := append([]Event(nil), events...)
+	n := 2
+	for len(cur) >= 2 && probes < maxProbes {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		// Try removing each chunk (complement testing: ddmin's subset
+		// phase is subsumed when n == 2).
+		for i := 0; i < len(cur); i += chunk {
+			end := i + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			complement := make([]Event, 0, len(cur)-(end-i))
+			complement = append(complement, cur[:i]...)
+			complement = append(complement, cur[end:]...)
+			if len(complement) == len(cur) {
+				continue
+			}
+			if try(complement) {
+				cur = complement
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n = min(n*2, len(cur))
+		}
+	}
+	return cur
+}

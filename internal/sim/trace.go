@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+)
+
+// Trace is the canonical byte-stable record of a run's injected events:
+// a header naming the configuration and seed, then one line per concrete
+// chaos event in firing order with integer-nanosecond virtual timestamps.
+// Two runs with the same seed and schedule produce identical bytes — the
+// replay contract the determinism tests pin down — and the shrinker's
+// minimal schedules are printed in the same format so a failure report is
+// directly diffable against the original run.
+func Trace(cfg Config, events []Event) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# hasim seed=%d nodes=%d clients=%d backups=%d wal=%v virtual=%d\n",
+		cfg.Seed, cfg.Nodes, cfg.Clients, cfg.Backups, cfg.WAL, cfg.Virtual.Nanoseconds())
+	for _, ev := range events {
+		buf.WriteString(ev.String())
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// FormatViolations renders a violation list for human consumption, one
+// line per violation with its virtual offset.
+func FormatViolations(vs []Violation) string {
+	if len(vs) == 0 {
+		return "no invariant violations\n"
+	}
+	var buf bytes.Buffer
+	for _, v := range vs {
+		fmt.Fprintf(&buf, "VIOLATION t=%s %s: %s\n", fmtDur(v.At), v.Kind, v.Detail)
+	}
+	return buf.String()
+}
+
+// fmtDur renders a duration as seconds with millisecond precision, which
+// keeps violation timestamps readable across five-minute runs.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}

@@ -8,6 +8,12 @@
 // Payloads are round-tripped through the wire codec on every send, so the
 // in-memory network has the same value semantics (and byte accounting) as a
 // real one.
+//
+// Delivery timing runs on an injectable clock.Clock: under the simulator,
+// every in-flight message becomes a scheduled event on the virtual
+// timeline, drawn from the network's own seeded PRNG.
+//
+//hafw:simclock
 package memnet
 
 import (
@@ -16,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"hafw/internal/clock"
 	"hafw/internal/ids"
 	"hafw/internal/metrics"
 	"hafw/internal/transport"
@@ -49,6 +56,10 @@ type Config struct {
 	// wrapping wire.ErrFrameTooLarge instead of silently working in-memory
 	// and failing on a real network. Zero selects wire.MaxFrame.
 	MaxFrame int
+	// Clock schedules delayed deliveries. Nil means the wall clock; the
+	// simulator injects its virtual clock so latency and jitter elapse in
+	// virtual time.
+	Clock clock.Clock
 }
 
 // Stats are cumulative network-wide counters. They back the load
@@ -85,6 +96,7 @@ func normLink(a, b ids.EndpointID) linkKey {
 // concurrent use.
 type Network struct {
 	cfg Config
+	clk clock.Clock
 
 	mu        sync.Mutex
 	rng       *rand.Rand
@@ -111,6 +123,7 @@ func New(cfg Config) *Network {
 	}
 	return &Network{
 		cfg:       cfg,
+		clk:       clock.OrReal(cfg.Clock),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		endpoints: make(map[ids.EndpointID]*Endpoint),
 		cut:       make(map[linkKey]bool),
@@ -281,7 +294,7 @@ func (n *Network) send(env Envelope) {
 		n.deliver(env)
 		return
 	}
-	time.AfterFunc(delay, func() { n.deliver(env) })
+	n.clk.AfterFunc(delay, func() { n.deliver(env) })
 }
 
 // deliver is the arrival-time half: it rechecks connectivity (the link may
@@ -422,10 +435,12 @@ func (e *Endpoint) SetHandler(h transport.Handler) {
 // Send implements transport.Transport. The payload is round-tripped
 // through the wire codec, so the receiver can never alias the sender's
 // memory and unencodable payloads fail loudly here rather than silently
-// differing between memnet and tcpnet. The encode uses the codec's pooled
-// buffers and only the decoded clone plus the encoded size travel through
-// the network. Messages whose encoded size exceeds Config.MaxFrame fail
-// with an error wrapping wire.ErrFrameTooLarge, matching tcpnet.
+// differing between memnet and tcpnet. The round trip rides the codec's
+// pooled persistent gob pipes, which amortize per-type descriptor
+// compilation across messages; only the decoded clone plus the encoded
+// size travel through the network. Messages whose encoded size exceeds
+// Config.MaxFrame fail with an error wrapping wire.ErrFrameTooLarge,
+// matching tcpnet (up to the pipe's amortized descriptor bytes).
 func (e *Endpoint) Send(to ids.EndpointID, m wire.Message) error {
 	e.mu.Lock()
 	closed := e.closed
@@ -433,20 +448,13 @@ func (e *Endpoint) Send(to ids.EndpointID, m wire.Message) error {
 	if closed {
 		return transport.ErrClosed
 	}
-	buf, err := wire.EncodeBuffer(wire.Envelope{From: e.id, To: to, Payload: m})
-	if err != nil {
-		return err
-	}
-	size := buf.Len()
-	if size > e.net.cfg.MaxFrame {
-		wire.PutBuffer(buf)
-		return fmt.Errorf("memnet: encoded %s of %d bytes exceeds max frame %d: %w",
-			m.WireName(), size, e.net.cfg.MaxFrame, wire.ErrFrameTooLarge)
-	}
-	env, err := wire.Decode(buf.Bytes())
-	wire.PutBuffer(buf)
+	env, size, err := wire.CloneEnvelope(wire.Envelope{From: e.id, To: to, Payload: m})
 	if err != nil {
 		return fmt.Errorf("memnet: payload does not survive codec round-trip: %w", err)
+	}
+	if size > e.net.cfg.MaxFrame {
+		return fmt.Errorf("memnet: encoded %s of %d bytes exceeds max frame %d: %w",
+			m.WireName(), size, e.net.cfg.MaxFrame, wire.ErrFrameTooLarge)
 	}
 	e.countSend(m.WireName(), size)
 	e.net.send(Envelope{env: env, size: size})

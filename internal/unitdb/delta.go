@@ -34,6 +34,11 @@ type StampEntry struct {
 	// arise when partitioned primaries advanced the same session
 	// independently).
 	Hash uint64
+	// CtxHash fingerprints the context alone. When records diverge only in
+	// allocation metadata — the common case for a warm rejoiner whose WAL
+	// predates a crash-driven reallocation — equal context hashes let the
+	// sender elide the context bytes from its delta.
+	CtxHash uint64
 }
 
 // Offer is the first phase of the delta exchange: one member's complete
@@ -68,11 +73,20 @@ func recordHash(s *Session) uint64 {
 	return h.Sum64()
 }
 
+// ctxHash fingerprints a session context alone with FNV-1a.
+func ctxHash(ctx []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(ctx)
+	return h.Sum64()
+}
+
 // Offer exports this database's version stamps for the exchange.
 func (db *DB) Offer() Offer {
 	o := Offer{NextSID: db.nextSID, Tombstones: db.TombstoneIDs()}
 	for _, s := range db.Sessions() {
-		o.Stamps = append(o.Stamps, StampEntry{ID: s.ID, Stamp: s.Stamp, Hash: recordHash(s)})
+		o.Stamps = append(o.Stamps, StampEntry{
+			ID: s.ID, Stamp: s.Stamp, Hash: recordHash(s), CtxHash: ctxHash(s.Context),
+		})
 	}
 	return o
 }
@@ -169,8 +183,8 @@ func (db *DB) DeltaFor(self ids.ProcessID, offers map[ids.ProcessID]Offer) Snaps
 
 		// designated is the least max-stamp holder of OUR candidate (offers
 		// include self, so it is never Nil when we are at max stamp).
-		myHash := recordHash(s)
-		designated, divergent, needy := ids.Nil, false, false
+		myHash, myCtx := recordHash(s), ctxHash(s.Context)
+		designated, divergent, ctxDivergent, needy := ids.Nil, false, false, false
 		for _, p := range members {
 			e, ok := idx[p].stamps[s.ID]
 			switch {
@@ -178,13 +192,29 @@ func (db *DB) DeltaFor(self ids.ProcessID, offers map[ids.ProcessID]Offer) Snaps
 				needy = true
 			case e.Hash != myHash:
 				divergent = true
+				if e.CtxHash != myCtx {
+					ctxDivergent = true
+				}
 			case designated == ids.Nil:
 				designated = p
 			}
 		}
-		if designated == self && (needy || divergent) {
-			out.Sessions = append(out.Sessions, *s.clone())
+		if designated != self || !(needy || divergent) {
+			continue
 		}
+		if !needy && !ctxDivergent {
+			// Every member holds this session at the max stamp with an
+			// identical context: the divergence is metadata only
+			// (allocation), so ship the record without its context bytes.
+			// Receivers substitute their own (identical) context before
+			// merging, and the tie-break still converges because it orders
+			// equal-context records by allocation.
+			meta := *s.clone()
+			meta.Context = nil
+			out.Meta = append(out.Meta, meta)
+			continue
+		}
+		out.Sessions = append(out.Sessions, *s.clone())
 	}
 	return out
 }

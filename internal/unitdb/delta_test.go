@@ -148,6 +148,39 @@ func TestDeltaDivergentEqualStampsConverge(t *testing.T) {
 	assertConverged(t, dbs, want)
 }
 
+func TestDeltaMetadataDivergenceElidesContext(t *testing.T) {
+	// A warm rejoiner's WAL predates a crash-driven reallocation: every
+	// member holds every session at the same stamp with identical bytes,
+	// but the rejoiner's allocation fields are stale. The exchange must
+	// converge the metadata without reshipping a single context.
+	base := seededDB("u", 8)
+	dbs := clones(base, 1, 2, 3)
+	for sid := ids.SessionID(1); sid <= 8; sid++ {
+		dbs[1].SetAllocation(sid, 2, []ids.ProcessID{1})
+		dbs[2].SetAllocation(sid, 2, []ids.ProcessID{1})
+	}
+	want := fullMergeChecksum(dbs)
+	offers := make(map[ids.ProcessID]Offer, len(dbs))
+	for p, db := range dbs {
+		offers[p] = db.Offer()
+	}
+	for p, db := range dbs {
+		d := db.DeltaFor(p, offers)
+		if len(d.Sessions) != 0 {
+			t.Fatalf("p%d shipped %d full records for metadata-only divergence, want 0", p, len(d.Sessions))
+		}
+		for _, m := range d.Meta {
+			if m.Context != nil {
+				t.Fatalf("p%d shipped a context inside a Meta record for session %d", p, m.ID)
+			}
+		}
+		for _, db2 := range dbs {
+			db2.Merge(d)
+		}
+	}
+	assertConverged(t, dbs, want)
+}
+
 func TestDeltaMatchesFullExchangeRandomized(t *testing.T) {
 	// Drive three replicas through divergent histories and check the delta
 	// exchange always lands on the full-exchange post-state.

@@ -441,6 +441,11 @@ type Snapshot struct {
 	// Tombstones lists removed session IDs, so merging a snapshot can
 	// never resurrect a closed session.
 	Tombstones []ids.SessionID
+	// Meta holds context-elided records: sessions every member already
+	// stores at the same stamp with an identical context, diverging only
+	// in allocation metadata. Their Context field is nil on the wire; the
+	// receiver substitutes its own copy before merging.
+	Meta []Session
 }
 
 // WireName implements wire.Message so snapshots can travel inside
@@ -506,6 +511,21 @@ func (db *DB) Merge(snap Snapshot) {
 		}
 		if preferSession(in, cur) {
 			db.sessions[in.ID] = in.clone()
+		}
+	}
+	for i := range snap.Meta {
+		in := &snap.Meta[i]
+		cur, ok := db.sessions[in.ID]
+		if db.tombstones[in.ID] || !ok || cur.Stamp != in.Stamp {
+			// Elision promised every member holds the record at this stamp;
+			// anything else means our copy has moved on, and a contextless
+			// record must never displace a real one.
+			continue
+		}
+		cand := in.clone()
+		cand.Context = append([]byte(nil), cur.Context...)
+		if preferSession(cand, cur) {
+			db.sessions[in.ID] = cand
 		}
 	}
 }

@@ -18,6 +18,12 @@
 // view (virtual synchrony). Clients are not members: they reach a group by
 // fanning an idempotent send to the members they can resolve, and the
 // coordinator deduplicates (open groups).
+//
+// Retry deadlines, NACK rate limits, and the housekeeping ticker all run
+// on an injected clock.Clock, so the discrete-event simulator can drive
+// the protocol entirely in virtual time.
+//
+//hafw:simclock
 package vsync
 
 import (

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"hafw/internal/clock"
 	"hafw/internal/ids"
 	"hafw/internal/membership"
 	"hafw/internal/metrics"
@@ -39,6 +40,9 @@ type Config struct {
 	// latency, flush sizes). Nil selects a private registry, so
 	// instrumentation never needs guarding.
 	Metrics *metrics.Registry
+	// Clock is the time source for retries, NACK pacing, and telemetry.
+	// Nil means the wall clock.
+	Clock clock.Clock
 }
 
 // pendingData tracks one sent-but-unsequenced message for retry and flush.
@@ -113,6 +117,7 @@ func newCoordState() *coordState {
 // vsync messages to Handle.
 type Node struct {
 	cfg Config
+	clk clock.Clock
 
 	mu sync.Mutex
 	// view is the current process-level view.
@@ -189,6 +194,7 @@ func New(cfg Config) *Node {
 	}
 	n := &Node{
 		cfg:        cfg,
+		clk:        clock.OrReal(cfg.Clock),
 		view:       membership.NewView(ids.ViewID{Epoch: 1, Coord: cfg.Self}, []ids.ProcessID{cfg.Self}),
 		dir:        make(map[ids.GroupName]map[ids.ProcessID]bool),
 		groupViewN: make(map[ids.GroupName]uint64),
@@ -313,7 +319,7 @@ func (n *Node) routeDataLocked(d Data) {
 	n.nextSendSeq++
 	d.SendSeq = n.nextSendSeq
 	d.VID = n.view.ID
-	n.pending[d.ID] = &pendingData{d: d, lastSent: time.Now()}
+	n.pending[d.ID] = &pendingData{d: d, lastSent: n.clk.Now()}
 	n.sendDataLocked(d)
 }
 
@@ -696,13 +702,13 @@ func (n *Node) handleClientSendLocked(from ids.EndpointID, cs ClientSend) {
 
 func (n *Node) tickLoop() {
 	defer close(n.done)
-	ticker := time.NewTicker(n.cfg.AckInterval)
+	ticker := n.clk.NewTicker(n.cfg.AckInterval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-n.stop:
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 			n.tick()
 		}
 	}
@@ -714,7 +720,7 @@ func (n *Node) tick() {
 	if n.blocked {
 		return
 	}
-	now := time.Now()
+	now := n.clk.Now()
 
 	// Pending retry: resend unacknowledged Data to the current
 	// coordinator (covers lost Data, lost DataAcks, and coordinator
@@ -890,7 +896,7 @@ func (n *Node) Block() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if !n.blocked {
-		n.blockedAt = time.Now()
+		n.blockedAt = n.clk.Now()
 	}
 	n.blocked = true
 }
@@ -965,6 +971,14 @@ func (n *Node) Install(v membership.View, states map[ids.ProcessID][]byte) {
 	var pendings []Data
 	pendingSeen := make(map[ids.MsgID]bool)
 	dirMerge := make(map[ids.GroupName]map[ids.ProcessID]bool)
+	// strangers are members whose flush state came from a different
+	// previous view: the far side of a healing partition, or a process
+	// that restarted faster than failure detection. Either way their
+	// volatile group state did not move continuously into this view, so
+	// the fresh group views below must report them as joiners even when
+	// the member set looks unchanged — that is what makes the layers
+	// above run their state exchange with them.
+	strangers := make(map[ids.ProcessID]bool)
 
 	addDir := func(g ids.GroupName, ps []ids.ProcessID) {
 		set := dirMerge[g]
@@ -983,8 +997,11 @@ func (n *Node) Install(v membership.View, states map[ids.ProcessID][]byte) {
 		}
 	}
 
-	for _, blob := range states {
+	for p, blob := range states {
 		if len(blob) == 0 {
+			if p != n.cfg.Self {
+				strangers[p] = true
+			}
 			continue
 		}
 		m, err := wire.DecodeMessage(blob)
@@ -999,6 +1016,9 @@ func (n *Node) Install(v membership.View, states map[ids.ProcessID][]byte) {
 			addDir(g, ps)
 		}
 		if fs.VID != oldVID {
+			if p != n.cfg.Self {
+				strangers[p] = true
+			}
 			continue // a stranger from another partition: directory only
 		}
 		for _, fm := range fs.Msgs {
@@ -1083,7 +1103,7 @@ func (n *Node) Install(v membership.View, states map[ids.ProcessID][]byte) {
 	// The membership phase of this view change ran from the freeze to
 	// here: agreement plus flush-state exchange plus the merge above.
 	if !n.blockedAt.IsZero() {
-		n.cfg.Metrics.Histogram(`viewchange_duration_seconds{phase="membership"}`).Observe(time.Since(n.blockedAt))
+		n.cfg.Metrics.Histogram(`viewchange_duration_seconds{phase="membership"}`).Observe(n.clk.Since(n.blockedAt))
 		n.blockedAt = time.Time{}
 	}
 	n.cfg.Metrics.Counter("view_installs_total").Inc()
@@ -1125,6 +1145,21 @@ func (n *Node) Install(v membership.View, states map[ids.ProcessID][]byte) {
 		}
 	} else {
 		n.coord = nil
+	}
+
+	// Forget strangers' old group presence: diffing the fresh views
+	// against a history that still lists them would hide their (re)join.
+	if len(strangers) > 0 {
+		for g, gv := range n.lastGV {
+			kept := make([]ids.ProcessID, 0, len(gv.Members))
+			for _, p := range gv.Members {
+				if !strangers[p] {
+					kept = append(kept, p)
+				}
+			}
+			gv.Members = kept
+			n.lastGV[g] = gv
+		}
 	}
 
 	// Emit fresh group views for every group this process belongs to.

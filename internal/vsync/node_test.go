@@ -354,6 +354,56 @@ func TestBlockedMulticastReleasedIntoNewView(t *testing.T) {
 	waitSink(t, func() bool { return len(sink.messages(tg)) == 1 }, "released multicast")
 }
 
+func TestFastRejoinerReportedAsJoiner(t *testing.T) {
+	n, _, sink := newTestNode(t, 1)
+	if err := n.Join(tg); err != nil {
+		t.Fatal(err)
+	}
+	waitSink(t, func() bool { return len(sink.views(tg)) == 1 }, "join view")
+
+	// blob2 is process 2's flush state, always from its own singleton
+	// view — first as a genuine joiner, then as a fast-restarted one.
+	blob2 := func() []byte {
+		b, err := wire.EncodeMessage(flushState{
+			VID: ids.ViewID{Epoch: 1, Coord: 2},
+			Dir: map[ids.GroupName][]ids.ProcessID{tg: {2}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	// Process 2 arrives from its own partition: an ordinary joiner.
+	v2 := membership.NewView(ids.ViewID{Epoch: 5, Coord: 1}, []ids.ProcessID{1, 2})
+	n.Block()
+	n.Install(v2, map[ids.ProcessID][]byte{1: n.Collect(), 2: blob2()})
+	waitSink(t, func() bool { return len(sink.views(tg)) == 2 }, "merge view")
+	if got := sink.views(tg)[1].Joined; !reflect.DeepEqual(got, []ids.ProcessID{2}) {
+		t.Fatalf("merge Joined = %v, want [2]", got)
+	}
+
+	// Process 2 restarts faster than failure detection: it never leaves
+	// the member set, so only its broken view continuity (a flush state
+	// from a fresh singleton view) betrays the restart. The new group
+	// view must still report it as a joiner — the layers above key their
+	// state exchange on that.
+	v3 := membership.NewView(ids.ViewID{Epoch: 6, Coord: 1}, []ids.ProcessID{1, 2})
+	n.Block()
+	n.Install(v3, map[ids.ProcessID][]byte{1: n.Collect(), 2: blob2()})
+	waitSink(t, func() bool { return len(sink.views(tg)) == 3 }, "rejoin view")
+	ev := sink.views(tg)[2]
+	if !reflect.DeepEqual(ev.View.Members, []ids.ProcessID{1, 2}) {
+		t.Fatalf("rejoin members = %v, want [1 2]", ev.View.Members)
+	}
+	if !reflect.DeepEqual(ev.Joined, []ids.ProcessID{2}) {
+		t.Fatalf("rejoin Joined = %v, want [2]: a sub-FDTimeout restart must surface as a join", ev.Joined)
+	}
+	if len(ev.Left) != 0 {
+		t.Fatalf("rejoin Left = %v, want empty", ev.Left)
+	}
+}
+
 func TestFlushDeliversIdenticalSetsToCoMovers(t *testing.T) {
 	// Two nodes receive different subsets of the same view's messages;
 	// after exchanging Collect blobs, Install delivers the union at both.

@@ -6,21 +6,37 @@
 // halint's leakcheck flags that form. Recv stops its deadline timer as
 // soon as the wait resolves, so retry loops allocate nothing that
 // outlives them.
+//
+// RecvC is the clock-injected variant: under the simulator the deadline
+// elapses in virtual time.
+//
+//hafw:simclock
 package waitx
 
-import "time"
+import (
+	"time"
 
-// Recv receives one value from ch, giving up after d. The deadline timer
-// is stopped on return instead of lingering until it fires. A closed
-// channel yields its zero value with ok=true, exactly as a direct
-// receive would.
+	"hafw/internal/clock"
+)
+
+// Recv receives one value from ch, giving up after d of wall-clock time.
+// The deadline timer is stopped on return instead of lingering until it
+// fires. A closed channel yields its zero value with ok=true, exactly as
+// a direct receive would.
 func Recv[T any](ch <-chan T, d time.Duration) (v T, ok bool) {
-	t := time.NewTimer(d)
+	return RecvC(clock.Real, ch, d)
+}
+
+// RecvC is Recv with the deadline measured on ck. Code holding an
+// injected clock should always prefer it, so simulated time bounds the
+// wait.
+func RecvC[T any](ck clock.Clock, ch <-chan T, d time.Duration) (v T, ok bool) {
+	t := ck.NewTimer(d)
 	defer t.Stop()
 	select {
 	case v = <-ch:
 		return v, true
-	case <-t.C:
+	case <-t.C():
 		return v, false
 	}
 }

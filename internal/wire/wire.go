@@ -248,3 +248,71 @@ func EncodeBuffer(env Envelope) (*bytes.Buffer, error) {
 	}
 	return buf, nil
 }
+
+// clonePipe is a persistent encoder/decoder pair sharing one buffer-backed
+// gob stream. A fresh gob stream re-transmits and re-compiles the type
+// descriptor of every message, which dominates the cost of cloning small
+// protocol messages; on a long-lived stream each type is described and
+// compiled once, and every later message of that type is payload-only.
+type clonePipe struct {
+	buf bytes.Buffer
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// pipeFree is a fixed free list rather than a sync.Pool: the pool is
+// drained on every GC cycle, and losing a pipe throws away the compiled
+// decoder engines for every type it has seen — precisely the cost the
+// pipes exist to amortize. A bounded channel keeps warm pipes alive for
+// the life of the process.
+var pipeFree = make(chan *clonePipe, 64)
+
+func getPipe() *clonePipe {
+	select {
+	case p := <-pipeFree:
+		return p
+	default:
+		p := &clonePipe{}
+		p.enc = gob.NewEncoder(&p.buf)
+		p.dec = gob.NewDecoder(&p.buf)
+		return p
+	}
+}
+
+func putPipe(p *clonePipe) {
+	if p.buf.Cap() > maxPooledBuffer {
+		return
+	}
+	p.buf.Reset()
+	select {
+	case pipeFree <- p:
+	default:
+	}
+}
+
+// CloneEnvelope deep-copies an envelope through the codec and reports its
+// encoded size on the pipe's stream. The size omits the one-time type
+// descriptor once a pipe has seen the type, so it slightly underestimates
+// what a fresh stream (tcpnet frame) would carry; callers using it for
+// limits or metrics get a payload-dominated approximation. On a codec
+// error the pipe is discarded, because a partially written gob stream
+// cannot be resynchronized.
+func CloneEnvelope(env Envelope) (Envelope, int, error) {
+	if env.Payload == nil {
+		return Envelope{}, 0, errors.New("wire: encode: nil payload")
+	}
+	if !Registered(env.Payload.WireName()) {
+		return Envelope{}, 0, fmt.Errorf("wire: encode: unregistered message type %q", env.Payload.WireName())
+	}
+	p := getPipe()
+	if err := p.enc.Encode(&env); err != nil {
+		return Envelope{}, 0, fmt.Errorf("wire: encode: %w", err)
+	}
+	size := p.buf.Len()
+	var out Envelope
+	if err := p.dec.Decode(&out); err != nil {
+		return Envelope{}, 0, fmt.Errorf("wire: decode: %w", err)
+	}
+	putPipe(p)
+	return out, size, nil
+}
